@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the figure-reproduction benchmarks.
+
+Every benchmark runs its experiment once (``benchmark.pedantic`` with a
+single round — these are minutes-long simulations, not microbenchmarks),
+prints the same rows/series the paper's figure reports, and saves that
+report under ``benchmarks/results/`` so it survives pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: the paper's full 400-second setting, used by every figure benchmark
+BENCH_CONFIG = ExperimentConfig()
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

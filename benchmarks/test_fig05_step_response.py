@@ -1,0 +1,40 @@
+"""Fig. 5 — system responses to step inputs.
+
+Paper: input rates of 150/190/200/300 tuples/s stepped at t = 10 s; below
+~190 t/s the delay is constant, above it the delay grows linearly and its
+increment Δy converges to a stable value (the integrator signature).
+"""
+
+from repro.experiments import step_response
+from repro.metrics.report import format_table
+
+RATES = (150.0, 190.0, 200.0, 300.0)
+
+
+def test_fig05_step_response(benchmark, config, save_report):
+    results = benchmark.pedantic(
+        lambda: step_response(rates=RATES, config=config),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for rate in RATES:
+        r = results[rate]
+        tail = r.delay_increments[-8:]
+        dy = sum(tail) / len(tail)
+        rows.append([f"{rate:.0f}", f"{r.delays[20]:.2f}", f"{r.delays[-1]:.2f}",
+                     f"{dy:.3f}", "saturated" if r.saturated else "steady"])
+    save_report("fig05_step_response", "\n".join([
+        "Fig. 5 — step responses (paper: threshold at ~190 t/s, H = 0.97)",
+        format_table(["rate t/s", "y @20s", "y @end", "dy/dk s",
+                      "regime"], rows),
+    ]))
+
+    # paper shapes: 150 stays flat; 200 and 300 integrate; growth rate
+    # scales with the excess over capacity H/c = 184.3 t/s
+    assert not results[150.0].saturated
+    assert results[200.0].saturated and results[300.0].saturated
+    d200 = results[200.0].delay_increments[-8:]
+    d300 = results[300.0].delay_increments[-8:]
+    ratio = (sum(d300) / 8) / (sum(d200) / 8)
+    expected = (300 - 184.3) / (200 - 184.3)
+    assert abs(ratio - expected) / expected < 0.35

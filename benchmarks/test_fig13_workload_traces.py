@@ -1,0 +1,47 @@
+"""Fig. 13 — traces of the synthetic and (synthesized) real stream data.
+
+Paper: the Web trace (LBL-PKT-4) fluctuates between ~100 and ~400 t/s with
+multi-second bursts; the Pareto (beta = 1) trace is more dramatic, spiking
+to ~800 t/s. We regenerate both and check those characteristics.
+"""
+
+from repro.experiments import make_workload
+from repro.metrics.report import ascii_series, format_table
+
+
+def test_fig13_workload_traces(benchmark, config, save_report):
+    traces = benchmark.pedantic(
+        lambda: {kind: make_workload(kind, config)
+                 for kind in ("web", "pareto")},
+        rounds=1, iterations=1,
+    )
+    web, pareto = traces["web"], traces["pareto"]
+    rows = [
+        ["web", f"{web.mean():.0f}", f"{web.peak():.0f}",
+         f"{web.burstiness():.2f}"],
+        ["pareto", f"{pareto.mean():.0f}", f"{pareto.peak():.0f}",
+         f"{pareto.burstiness():.2f}"],
+    ]
+    save_report("fig13_workload_traces", "\n".join([
+        "Fig. 13 — workload traces (paper: Pareto fluctuates more "
+        "dramatically than Web)",
+        format_table(["trace", "mean t/s", "peak t/s", "burstiness CV"], rows),
+        "",
+        ascii_series(list(web), title="web arrival rate (t/s)",
+                     y_label="time (s) ->"),
+        "",
+        ascii_series(list(pareto), title="pareto(beta=1) arrival rate (t/s)",
+                     y_label="time (s) ->"),
+    ]))
+
+    # the paper's qualitative characteristics
+    assert pareto.burstiness() > web.burstiness()
+    assert pareto.peak() <= 800.0 + 1e-6
+    assert pareto.peak() > 2 * web.mean()
+    # bursts last several seconds -> positive lag-1 autocorrelation (web)
+    values = list(web)
+    mu = web.mean()
+    lag1 = sum((values[i] - mu) * (values[i + 1] - mu)
+               for i in range(len(values) - 1))
+    lag1 /= sum((v - mu) ** 2 for v in values)
+    assert lag1 > 0.3

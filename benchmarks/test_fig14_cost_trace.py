@@ -1,0 +1,31 @@
+"""Fig. 14 — variable unit processing costs.
+
+Paper: a Pareto-jittered ~5 ms base with a small peak at the 50th second, a
+large peak with a sudden jump from the 125th, and a high terrace with a
+sudden drop between the 250th and 350th second.
+"""
+
+from repro.experiments import make_cost_trace
+from repro.metrics.report import ascii_series
+
+
+def test_fig14_cost_trace(benchmark, config, save_report):
+    trace = benchmark.pedantic(
+        lambda: make_cost_trace(config),
+        rounds=1, iterations=1,
+    )
+    ms = [v * 1000 for v in trace]
+    save_report("fig14_cost_trace", "\n".join([
+        "Fig. 14 — per-tuple cost trace (ms); base ~5.3 ms, peak at ~50 s,",
+        "jump peak from 125 s, terrace 250-350 s with a sudden drop",
+        ascii_series(ms, title="cost (ms)", y_label="time (s) ->"),
+    ]))
+
+    base = config.base_cost
+    assert trace.at(20.0) < 1.4 * base          # quiet baseline
+    assert trace.at(52.0) > 1.5 * base          # small peak
+    assert trace.at(126.0) > 3.0 * base         # sudden jump
+    assert trace.at(126.0) > trace.at(124.0) * 2.0
+    assert trace.at(300.0) > 1.6 * base         # terrace holds
+    assert trace.at(352.0) < 1.4 * base         # sudden drop
+    assert len(trace) == int(config.duration)

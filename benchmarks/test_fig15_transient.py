@@ -1,0 +1,41 @@
+"""Fig. 15 — transient performance of the three strategies.
+
+Paper: CTRL's y(k) hugs the 2 s target for the whole 400 s run, recovering
+quickly from the cost peaks; BASELINE and AURORA show peaks that are large
+in both height and width, AURORA drifting far from the target.
+"""
+
+import statistics
+
+from repro.experiments import compare_strategies
+from repro.metrics.report import ascii_series
+
+
+def test_fig15_transient(benchmark, config, save_report):
+    result = benchmark.pedantic(
+        lambda: compare_strategies("web", config),
+        rounds=1, iterations=1,
+    )
+    sections = ["Fig. 15 — y(k) time series on the Web trace "
+                "(target = 2 s; paper: CTRL hugs the target)"]
+    series = {}
+    for name in ("CTRL", "BASELINE", "AURORA"):
+        y = result.transient(name)
+        series[name] = y
+        sections.append("")
+        sections.append(ascii_series(y, title=f"{name}: average delay y(k) (s)",
+                                     y_label="time (s) ->"))
+    save_report("fig15_transient", "\n".join(sections))
+
+    def tracking_error(y):
+        settled = [v for v in y[20:] if v > 0]
+        return statistics.mean(abs(v - config.target) for v in settled)
+
+    err = {name: tracking_error(y) for name, y in series.items()}
+    # CTRL tracks the target far better than AURORA
+    assert err["CTRL"] < 0.5 * err["AURORA"]
+    # CTRL's worst excursion is the smallest
+    assert max(series["CTRL"]) <= max(series["AURORA"])
+    # CTRL's mean sits near the target
+    settled = [v for v in series["CTRL"][20:] if v > 0]
+    assert abs(statistics.mean(settled) - config.target) < 0.5

@@ -1,0 +1,46 @@
+"""Fig. 16 — can AURORA be rescued by a more aggressive threshold?
+
+Paper: rerunning AURORA with H = 0.96 (shed more) leaves the Web input
+unstable, and where it helps (Pareto) it costs ~37% more data loss than
+CTRL — open-loop tuning is brittle and input-dependent.
+
+Our reproduction: on the Web input the retuned AURORA remains far worse
+than CTRL on violations, and it never beats CTRL on loss. The paper's
+"Pareto becomes violation-free" point does not reproduce because our
+AURORA's over-admission is dominated by cost-estimation lag (x2-x4.8 cost
+events), which a 1% capacity margin cannot cover — see EXPERIMENTS.md.
+"""
+
+from repro.experiments import aurora_retuned
+from repro.metrics.report import format_table
+
+
+def test_fig16_aurora_retuned(benchmark, config, save_report):
+    results = benchmark.pedantic(
+        lambda: {kind: aurora_retuned(kind, config, headroom_override=0.96)
+                 for kind in ("web", "pareto")},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for kind, r in results.items():
+        rows.append([
+            kind,
+            f"{r.aurora_metrics.accumulated_violation:.0f}",
+            f"{r.ctrl_metrics.accumulated_violation:.0f}",
+            f"{r.aurora_metrics.loss_ratio:.3f}",
+            f"{r.ctrl_metrics.loss_ratio:.3f}",
+            f"{r.relative_loss:.2f}",
+        ])
+    save_report("fig16_aurora_retuned", "\n".join([
+        "Fig. 16 — AURORA retuned with H = 0.96 vs CTRL "
+        "(paper: Web still unstable; where stable, ~1.37x CTRL's loss)",
+        format_table(["workload", "aurora acc_viol", "ctrl acc_viol",
+                      "aurora loss", "ctrl loss", "loss ratio"], rows),
+    ]))
+
+    web = results["web"]
+    # Web stays unstable: retuning does not close the violation gap
+    assert (web.aurora_metrics.accumulated_violation
+            > 2 * web.ctrl_metrics.accumulated_violation)
+    # and the retuned AURORA pays at least CTRL-level loss on the web input
+    assert web.relative_loss > 0.9

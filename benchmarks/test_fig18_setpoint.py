@@ -1,0 +1,62 @@
+"""Fig. 18 — responses to runtime changes of the target value.
+
+Paper: yd = 1 s initially, 3 s at the 150th second, 5 s at the 300th.
+CTRL converges to each new target quickly with unaffected stability;
+AURORA does not respond to yd at all; BASELINE converges (slowly, in the
+paper's system).
+"""
+
+import statistics
+
+from repro.experiments import PAPER_SCHEDULE, setpoint_tracking
+from repro.metrics.report import ascii_series, format_table
+
+
+def test_fig18_setpoint(benchmark, config, save_report):
+    # isolate setpoint tracking from the Fig. 14 cost disturbances — the
+    # terrace (250-350 s) would otherwise overlap the 5 s setpoint window
+    cfg = config.scaled(use_cost_trace=False)
+    result = benchmark.pedantic(
+        lambda: setpoint_tracking(cfg, schedule=PAPER_SCHEDULE),
+        rounds=1, iterations=1,
+    )
+
+    def window_mean(y, lo, hi):
+        vals = [v for v in y[lo:hi] if v > 0]
+        return statistics.mean(vals) if vals else 0.0
+
+    rows = []
+    series = {}
+    for name in ("CTRL", "BASELINE", "AURORA"):
+        y = result.transient(name)
+        series[name] = y
+        rows.append([name,
+                     f"{window_mean(y, 100, 148):.2f}",
+                     f"{window_mean(y, 250, 298):.2f}",
+                     f"{window_mean(y, 350, 398):.2f}",
+                     result.settling_periods(name, 150),
+                     result.settling_periods(name, 300)])
+    sections = [
+        "Fig. 18 — setpoint tracking (yd: 1 s -> 3 s @150 s -> 5 s @300 s)",
+        format_table(["strategy", "y mean @[100,148]", "y mean @[250,298]",
+                      "y mean @[350,398]", "settle @150 (periods)",
+                      "settle @300 (periods)"], rows),
+        "",
+        ascii_series(series["CTRL"], title="CTRL y(k): steps to 1 / 3 / 5 s",
+                     y_label="time (s) ->"),
+    ]
+    save_report("fig18_setpoint", "\n".join(sections))
+
+    # CTRL converges to each target
+    y_ctrl = series["CTRL"]
+    assert abs(window_mean(y_ctrl, 100, 148) - 1.0) < 0.5
+    assert abs(window_mean(y_ctrl, 250, 298) - 3.0) < 0.8
+    assert abs(window_mean(y_ctrl, 350, 398) - 5.0) < 1.0
+    assert result.settling_periods("CTRL", 150) < 40
+    # AURORA's trajectory is indifferent to the schedule: its mean misses
+    # at least one of the targets badly
+    y_a = series["AURORA"]
+    misses = [abs(window_mean(y_a, 100, 148) - 1.0) > 0.5,
+              abs(window_mean(y_a, 250, 298) - 3.0) > 0.8,
+              abs(window_mean(y_a, 350, 398) - 5.0) > 1.0]
+    assert any(misses)

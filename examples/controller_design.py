@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Designing your own load-shedding controller with the control toolkit.
+
+Walks through the paper's Appendix A with different design choices:
+closed-loop pole locations trade convergence speed against control
+authority (how hard the shedder is worked), and damping trades speed
+against oscillation. Prints step responses and the resulting gains,
+including the recovery of the paper's published constants.
+
+Run:  python examples/controller_design.py
+"""
+
+from repro.control import stability_margins, step_metrics, step_response
+from repro.core import DsmsModel, design_gains, poles_from_specs
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    model = DsmsModel(cost=1 / 190, headroom=0.97, period=1.0)
+    print(f"Plant: G(z) = cT/(H(z-1)) with c = {model.cost * 1000:.2f} ms, "
+          f"H = {model.headroom}, T = {model.period} s\n")
+
+    # 1. The paper's design: both poles at 0.7, controller pole at 0.8.
+    paper = design_gains(poles=(0.7, 0.7), controller_pole=0.8)
+    print("The paper's design (poles 0.7/0.7, controller pole 0.8):")
+    print(f"  b0 = {paper.b0:.4f}, b1 = {paper.b1:.4f}, a = {paper.a:.4f}")
+    print("  (Section 5 reports b0 = 0.4, b1 = -0.31, a = -0.8)\n")
+
+    # 2. Sweep the closed-loop pole location.
+    rows = []
+    for pole in (0.9, 0.8, 0.7, 0.5, 0.3):
+        gains = design_gains(poles=(pole, pole), controller_pole=0.8)
+        closed = gains.closed_loop(model)
+        resp = step_response(closed, 40)
+        m = step_metrics(resp)
+        # control authority: the immediate reaction to a unit error is
+        # b0 * H/(cT) tuples/s of admission change
+        authority = gains.b0 * model.headroom / (model.cost * model.period)
+        rows.append([f"{pole:.1f}", f"{gains.b0:.2f}", f"{gains.b1:.2f}",
+                     m.settling_index, f"{m.overshoot_pct:.1f}%",
+                     f"{authority:.0f}"])
+    print("Pole-location sweep (double real pole, controller pole 0.8):")
+    print(format_table(
+        ["pole", "b0", "b1", "settle (periods)", "overshoot",
+         "tuples/s per second of error"], rows))
+    print("  -> faster poles settle sooner but shed much harder per unit\n"
+          "     of error — the paper's reason for not placing poles at 0\n")
+
+    # 3. From engineering specs instead of pole locations.
+    rows = []
+    for conv, damp in ((3.0, 1.0), (3.0, 0.7), (6.0, 1.0), (1.5, 1.0)):
+        poles = poles_from_specs(convergence_periods=conv, damping=damp)
+        gains = design_gains(poles=poles, controller_pole=0.8)
+        resp = step_response(gains.closed_loop(model), 60)
+        m = step_metrics(resp)
+        rows.append([conv, damp, f"{poles[0].real:.3f}{poles[0].imag:+.3f}j",
+                     m.settling_index, f"{m.overshoot_pct:.1f}%",
+                     "yes" if m.oscillatory else "no"])
+    print("Designs from (convergence, damping) specs:")
+    print(format_table(
+        ["converge (periods)", "damping", "pole", "settle", "overshoot",
+         "oscillates"], rows))
+    print("\n  The paper picks 3-period convergence with damping 1 — the\n"
+          "  fastest design with no oscillation and moderate authority.\n")
+
+    # 4. Robustness margins of the chosen design.
+    open_loop = paper.transfer_function(model) * model.plant()
+    m = stability_margins(open_loop)
+    print("Stability margins of the paper's loop C(z)G(z):")
+    print(f"  gain margin    : {m.gain_margin:.2f}x — the cost estimate "
+          "c(k) may be wrong by this factor before instability")
+    print(f"  phase margin   : {m.phase_margin_deg:.1f} degrees — tolerated "
+          "extra actuation lag")
+    print(f"  modulus margin : {m.modulus_margin:.2f} — distance to the "
+          "critical point under any perturbation mix")
+
+
+if __name__ == "__main__":
+    main()

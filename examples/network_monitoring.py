@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Network monitoring for intrusion detection under overload.
+
+One of the paper's motivating applications (Section 1): alerts must reach
+the operator before a *soft deadline* — a late intrusion alert is worthless
+— while the system tolerates some lost flow records. This example runs a
+two-source query network (flow records joined against an alert feed, plus a
+per-second traffic aggregate) through a traffic spike, with and without the
+control loop.
+
+Run:  python examples/network_monitoring.py
+"""
+
+import random
+
+from repro.core import (
+    ControlDecision,
+    ControlLoop,
+    Controller,
+    DsmsModel,
+    EntryActuator,
+    EwmaEstimator,
+    Monitor,
+    PolePlacementController,
+)
+from repro.dsms import Engine, monitoring_network
+from repro.workloads import merge_arrivals, piecewise_rate
+
+ALERT_DEADLINE = 1.0   # seconds: alerts older than this are useless
+CAPACITY = 500.0       # flow tuples/second at H = 1
+DURATION = 90.0
+
+
+def flow_arrivals(seed: int):
+    """Normal traffic with a 30-second attack spike (4x rate)."""
+    trace = piecewise_rate([(30, 350.0), (30, 1400.0), (30, 350.0)])
+    rng = random.Random(seed)
+    out = []
+    for k, rate in enumerate(trace):
+        n = int(rate)
+        for i in range(n):
+            # values: (suspicion score, host id)
+            out.append((k + i / n, (rng.random(), rng.randrange(50)), "flows"))
+    return out
+
+
+def alert_arrivals(seed: int):
+    """A steady trickle of IDS alerts, 5 per second."""
+    rng = random.Random(seed)
+    return [
+        (k + i / 5, (0.0, rng.randrange(50)), "alerts")
+        for k in range(int(DURATION)) for i in range(5)
+    ]
+
+
+class AdmitEverything(Controller):
+    """The do-nothing baseline: never sheds (desired inflow unbounded)."""
+
+    name = "NONE"
+
+    def decide(self, m, target):
+        return ControlDecision(v=float("inf"), u=0.0, error=0.0)
+
+
+def run(controlled: bool):
+    network = monitoring_network(capacity=CAPACITY)
+    engine = Engine(network, headroom=0.97, rng=random.Random(1))
+    model = DsmsModel(cost=1.0 / CAPACITY, headroom=0.97, period=0.5)
+    monitor = Monitor(engine, model,
+                      cost_estimator=EwmaEstimator(model.cost, 0.2))
+    controller = (PolePlacementController(model) if controlled
+                  else AdmitEverything(model))
+    # regulate at 60% of the deadline so the ripple stays inside it
+    loop = ControlLoop(engine, controller, monitor, EntryActuator(),
+                       target=0.6 * ALERT_DEADLINE, period=0.5)
+    arrivals = merge_arrivals(flow_arrivals(seed=3), alert_arrivals(seed=4))
+    record = loop.run(arrivals, DURATION)
+    alarms = network.operators["alarm_out"].consumed
+    return record, alarms
+
+
+def main() -> None:
+    print("Scenario: 350 flows/s baseline, attack spike to 1400/s for 30 s;")
+    print(f"alerts must be matched within {ALERT_DEADLINE:.1f} s to be useful.\n")
+    for controlled in (False, True):
+        label = "WITH control-based shedding" if controlled else \
+                "WITHOUT load shedding      "
+        record, alarms = run(controlled)
+        # lateness is judged against the deadline, not the regulation target
+        qos = record.qos(target=ALERT_DEADLINE)
+        print(f"{label}: "
+              f"max delay {qos.max_overshoot + ALERT_DEADLINE:5.1f} s | "
+              f"late results {qos.delayed_tuples:6d} | "
+              f"flow records shed {100 * qos.loss_ratio:4.1f}% | "
+              f"alarms raised {alarms}")
+    print("\nThe controlled system sacrifices a fraction of flow records to")
+    print("keep every delivered alert inside its deadline; the uncontrolled")
+    print("system delivers stale results for the whole attack window.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""System identification: deriving the DSMS model from experiments.
+
+Reproduces the paper's Section 4.2 methodology interactively: feed the
+engine step and sinusoidal inputs, watch the virtual queue integrate above
+capacity, then fit Eq. 2 with candidate headroom values and see which one
+explains the data (the paper found H = 0.97 for its Borealis installation;
+this engine is configured with 0.97 and the fit recovers it blindly).
+
+Run:  python examples/system_identification.py
+"""
+
+from repro.experiments import ExperimentConfig, model_verification, step_response
+from repro.metrics.report import ascii_series, format_table
+from repro.workloads import sinusoid_rate, step_rate
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    print("Step-response experiment (paper Fig. 5): rates 150/190/200/300 t/s,")
+    print(f"engine capacity {config.capacity:.0f} t/s at H = 1\n")
+    results = step_response(config=config)
+    rows = []
+    for rate, r in sorted(results.items()):
+        tail = r.delay_increments[-8:]
+        rows.append([f"{rate:.0f}", f"{r.delays[-1]:.2f}",
+                     f"{sum(tail) / len(tail):.3f}",
+                     "saturated" if r.saturated else "steady"])
+    print(format_table(
+        ["input rate (t/s)", "final delay (s)", "dy/dk (s/period)",
+         "regime"], rows))
+    print("\n  -> below ~184 t/s (= 190 x 0.97) the delay is flat; above it")
+    print("     the delay grows at a constant rate: the plant integrates.\n")
+
+    print("Model verification with a step input (paper Fig. 6):")
+    trace = step_rate(80, 10, low=10.0, high=300.0)
+    fit = model_verification(trace, config)
+    rows = [[f"{h:.2f}", f"{f.rms_error:.3f}"]
+            for h, f in sorted(fit.fits.items())]
+    print(format_table(["candidate H", "RMS model error (s)"], rows))
+    print(f"  best H = {fit.best_headroom():.2f}; measured cost "
+          f"{fit.measured_cost * 1000:.2f} ms/tuple\n")
+
+    print("Model verification with a sinusoidal input (paper Fig. 7):")
+    trace = sinusoid_rate(200, 50, low=0.0, high=400.0)
+    fit = model_verification(trace, config)
+    rows = [[f"{h:.2f}", f"{f.rms_error:.3f}"]
+            for h, f in sorted(fit.fits.items())]
+    print(format_table(["candidate H", "RMS model error (s)"], rows))
+    print(f"  best H = {fit.best_headroom():.2f}\n")
+    print(ascii_series(fit.measured, title="measured y(k) under the sinusoid",
+                       y_label="time (s) ->"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The build host has no ``wheel`` package, so PEP 660 editable installs fail;
+``pip install -e . --no-use-pep517`` (or plain ``pip install -e .`` on older
+pips) uses this file via ``setup.py develop``. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,138 @@
+"""Generic pole-placement controller design via the Diophantine equation.
+
+Given a plant ``G(z) = B(z)/A(z)`` and a desired closed-loop characteristic
+polynomial ``P(z)``, find a controller ``C(z) = N(z)/D(z)`` such that::
+
+    D(z) A(z) + N(z) B(z) = P(z)
+
+This is the textbook procedure the paper applies in Appendix A. For a plant
+of degree ``n`` a controller of degree ``n - 1`` (here: first-order plant,
+first-order controller — wait, the paper uses a first-order controller on a
+first-order plant, giving a second-order closed loop) solves the equation
+when ``deg P = deg A + deg D``. The linear system in the unknown controller
+coefficients is the Sylvester (resultant) matrix equation; we solve it with
+:func:`numpy.linalg.lstsq` and verify the residual.
+
+An optional *unity static gain* constraint pins remaining degrees of freedom
+(the paper's Eq. 19): the closed loop ``N B / P`` must evaluate to 1 at
+``z = 1`` so the output tracks the reference with zero steady-state error.
+For plants that already contain an integrator (like the paper's), any
+stabilizing design satisfies this automatically, leaving a free parameter;
+callers can pin it by fixing a controller pole (see
+:func:`repro.core.pole_placement.design_delay_controller`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ControlError, UnstableDesignError
+from .polynomial import Polynomial
+from .transfer_function import TransferFunction
+
+
+@dataclass(frozen=True)
+class PolePlacementResult:
+    """Outcome of a pole-placement design."""
+
+    controller: TransferFunction
+    closed_loop: TransferFunction
+    achieved_poles: tuple
+    residual: float
+
+
+def desired_characteristic(poles: Sequence[complex]) -> Polynomial:
+    """Monic polynomial with the requested closed-loop poles (Eq. 14)."""
+    for p in poles:
+        if abs(p) >= 1.0:
+            raise UnstableDesignError(f"requested pole {p} is not inside the unit circle")
+    return Polynomial.from_roots(list(poles))
+
+
+def solve_diophantine(a: Polynomial, b: Polynomial, target: Polynomial,
+                      controller_den_degree: Optional[int] = None,
+                      tol: float = 1e-8) -> "tuple[Polynomial, Polynomial]":
+    """Solve ``D a + N b = target`` for monic ``D`` and ``N``.
+
+    ``controller_den_degree`` defaults to ``deg(target) - deg(a)``. ``N`` is
+    allowed the same degree as ``D`` (a proper controller). Raises
+    :class:`ControlError` when the system is unsolvable (coprimality of
+    ``a`` and ``b`` is required for arbitrary placement).
+    """
+    na = a.degree
+    if controller_den_degree is None:
+        controller_den_degree = target.degree - na
+    nd = controller_den_degree
+    if nd < 0:
+        raise ControlError("target polynomial degree is lower than the plant degree")
+    nn = nd  # proper controller: deg N == deg D
+
+    # Unknowns: d_1..d_nd (D is monic) then n_0..n_nn.
+    n_unknowns = nd + nn + 1
+    rows = target.degree + 1
+
+    def poly_column(base: Polynomial, shift: int, rows: int) -> np.ndarray:
+        """Column of coefficients of ``base * z**shift`` padded to ``rows``."""
+        col = np.zeros(rows)
+        coeffs = base.shift(shift).coeffs
+        col[rows - len(coeffs):] = coeffs
+        return col
+
+    matrix = np.zeros((rows, n_unknowns))
+    # D = z^nd + d_1 z^{nd-1} + ... + d_nd  -> contribution of each d_i is a*z^{nd-i}
+    for i in range(1, nd + 1):
+        matrix[:, i - 1] = poly_column(a, nd - i, rows)
+    # N = n_0 z^{nn} + ... + n_nn
+    for j in range(nn + 1):
+        matrix[:, nd + j] = poly_column(b, nn - j, rows)
+
+    rhs_poly = target - a.shift(nd)  # move the monic-D term to the right side
+    rhs = np.zeros(rows)
+    rhs_coeffs = rhs_poly.coeffs
+    rhs[rows - len(rhs_coeffs):] = rhs_coeffs
+
+    solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    residual = float(np.linalg.norm(matrix @ solution - rhs))
+    scale = max(1.0, float(np.linalg.norm(rhs)))
+    if residual > tol * scale:
+        raise ControlError(
+            f"Diophantine equation unsolvable for this structure (residual {residual:.3g}); "
+            "the plant polynomials may not be coprime or the controller order is too low"
+        )
+    d = Polynomial([1.0] + solution[:nd].tolist())
+    n = Polynomial(solution[nd:].tolist())
+    return d, n
+
+
+def place_poles(plant: TransferFunction, poles: Sequence[complex],
+                controller_den_degree: Optional[int] = None) -> PolePlacementResult:
+    """Design ``C(z)`` putting the closed-loop poles of ``C G/(1+CG)`` at ``poles``."""
+    target = desired_characteristic(poles)
+    a = plant.den.monic()
+    lead = plant.den.coeffs[0]
+    b = plant.num.scale(1.0 / lead)
+    d, n = solve_diophantine(a, b, target, controller_den_degree)
+    controller = TransferFunction(n, d)
+    closed = (controller * plant).feedback()
+    achieved = tuple(sorted(closed.poles(), key=lambda p: (p.real, p.imag)))
+    residual = float(
+        np.linalg.norm(
+            np.array((d * a + n * b - target).coeffs)
+        )
+    )
+    return PolePlacementResult(
+        controller=controller,
+        closed_loop=closed,
+        achieved_poles=achieved,
+        residual=residual,
+    )
+
+
+def verify_unity_gain(plant: TransferFunction, controller: TransferFunction,
+                      tol: float = 1e-6) -> bool:
+    """Check the paper's Eq. 19: closed-loop static gain equals one."""
+    gain = (controller * plant).feedback().dc_gain()
+    return abs(gain - 1.0) <= tol

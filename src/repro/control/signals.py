@@ -1,0 +1,81 @@
+"""Deterministic test-signal builders used in system identification.
+
+These produce plain ``list[float]`` sequences sampled at a fixed period, the
+shapes used throughout the paper's Section 4.2 and Figure 8 examples: steps,
+ramps, sinusoids, square waves, and piecewise-constant profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..errors import ControlError
+
+
+def constant(value: float, n: int) -> List[float]:
+    """``n`` samples of a constant signal."""
+    _check_length(n)
+    return [float(value)] * n
+
+
+def step(n: int, step_at: int, low: float = 0.0, high: float = 1.0) -> List[float]:
+    """A step from ``low`` to ``high`` at sample index ``step_at`` (Fig. 5A)."""
+    _check_length(n)
+    if not 0 <= step_at <= n:
+        raise ControlError(f"step_at={step_at} outside [0, {n}]")
+    return [float(low)] * step_at + [float(high)] * (n - step_at)
+
+
+def ramp(n: int, start: float = 0.0, slope: float = 1.0) -> List[float]:
+    """A monotone ramp (the Fig. 8A instability example)."""
+    _check_length(n)
+    return [float(start) + float(slope) * k for k in range(n)]
+
+
+def sinusoid(n: int, period_samples: float, low: float, high: float,
+             phase: float = -math.pi / 2.0) -> List[float]:
+    """A sinusoid oscillating in ``[low, high]``.
+
+    The default phase starts the signal at its minimum, matching the paper's
+    sinusoidal-input identification runs where ``fin`` ranges over [0, 400].
+    """
+    _check_length(n)
+    if period_samples <= 0:
+        raise ControlError("period_samples must be positive")
+    if high < low:
+        raise ControlError("high must be >= low")
+    mid = (high + low) / 2.0
+    amp = (high - low) / 2.0
+    return [mid + amp * math.sin(2.0 * math.pi * k / period_samples + phase)
+            for k in range(n)]
+
+
+def square_wave(n: int, period_samples: int, low: float, high: float) -> List[float]:
+    """A 50%-duty square wave alternating between ``low`` and ``high``."""
+    _check_length(n)
+    if period_samples <= 1:
+        raise ControlError("period_samples must be at least 2")
+    half = period_samples / 2.0
+    return [float(high) if (k % period_samples) < half else float(low)
+            for k in range(n)]
+
+
+def piecewise(segments: Sequence[Tuple[int, float]]) -> List[float]:
+    """Concatenate constant segments given as ``(length, value)`` pairs.
+
+    ``piecewise([(150, 1.0), (150, 3.0), (100, 5.0)])`` is the Fig. 18
+    setpoint schedule at one-second sampling.
+    """
+    out: List[float] = []
+    for length, value in segments:
+        _check_length(length)
+        out.extend([float(value)] * length)
+    if not out:
+        raise ControlError("piecewise signal has no samples")
+    return out
+
+
+def _check_length(n: int) -> None:
+    if n < 0:
+        raise ControlError("sample count must be non-negative")

@@ -1,0 +1,93 @@
+"""The paper's primary contribution: control-based load shedding.
+
+Model (Eq. 2/3/11), pole-placement controller synthesis (Appendix A),
+the CTRL/BASELINE/AURORA strategies, the monitor with estimated-delay
+feedback, actuators binding decisions to load shedders, and the control
+loop that ties them together.
+"""
+
+from .actuator import (
+    Actuator,
+    EntryActuator,
+    InNetworkActuator,
+    PriorityEntryActuator,
+    SamplingActuator,
+    SemanticEntryActuator,
+)
+from .adaptive import AdaptiveController, RlsGainEstimator
+from .controller import (
+    AuroraOpenLoopController,
+    BackpressureController,
+    BaselineController,
+    ControlDecision,
+    Controller,
+    PolePlacementController,
+)
+from .estimation import (
+    CostEstimator,
+    EwmaEstimator,
+    KalmanCostEstimator,
+    LastValueEstimator,
+    WindowMedianEstimator,
+)
+from .loop import ControlLoop
+from .model import DsmsModel
+from .monitor import Measurement, Monitor
+from .prediction import (
+    Ar1Predictor,
+    ArrivalPredictor,
+    HoltPredictor,
+    LastValuePredictor,
+    MovingAveragePredictor,
+)
+from .window_adaptation import WindowAdaptationActuator
+from .pole_placement import (
+    PAPER_A,
+    PAPER_B0,
+    PAPER_B1,
+    PAPER_POLES,
+    ControllerGains,
+    design_gains,
+    paper_gains,
+    poles_from_specs,
+)
+
+__all__ = [
+    "Actuator",
+    "Ar1Predictor",
+    "ArrivalPredictor",
+    "AdaptiveController",
+    "AuroraOpenLoopController",
+    "BackpressureController",
+    "BaselineController",
+    "ControlDecision",
+    "ControlLoop",
+    "Controller",
+    "ControllerGains",
+    "CostEstimator",
+    "DsmsModel",
+    "EntryActuator",
+    "EwmaEstimator",
+    "InNetworkActuator",
+    "KalmanCostEstimator",
+    "LastValueEstimator",
+    "HoltPredictor",
+    "LastValuePredictor",
+    "Measurement",
+    "Monitor",
+    "MovingAveragePredictor",
+    "PAPER_A",
+    "PAPER_B0",
+    "PAPER_B1",
+    "PAPER_POLES",
+    "PolePlacementController",
+    "PriorityEntryActuator",
+    "RlsGainEstimator",
+    "SamplingActuator",
+    "SemanticEntryActuator",
+    "WindowAdaptationActuator",
+    "WindowMedianEstimator",
+    "design_gains",
+    "paper_gains",
+    "poles_from_specs",
+]

@@ -1,0 +1,243 @@
+"""Actuators: binding controller decisions to concrete load shedders.
+
+The paper's Section 4.5.2 describes two actuator styles and argues the
+controller is agnostic between them because only the *amount* of discarded
+load matters for the delay dynamics:
+
+* :class:`EntryActuator` — proactive: converts the allowance into the
+  Eq. 13 drop probability applied to arrivals during the coming period
+  (requires an inflow estimate; the paper uses the last period's ``fin``);
+* :class:`InNetworkActuator` — admits everything and continuously culls
+  queued tuples (one random victim per arriving tuple, with the Eq. 13
+  probability), via the random-location shedder or the LSRM; a boundary
+  reconciliation removes any residual surplus. Continuous culling matters:
+  shedding the whole surplus in one boundary batch would let the queue run
+  inflated for most of the period and bias every tuple's delay upward.
+
+Both keep offered/dropped counters so data-loss metrics are comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Union
+
+from ..errors import SheddingError
+from ..shedding.base import drop_probability
+from ..shedding.entry import EntryShedder
+from ..shedding.lsrm import LsrmShedder
+from ..shedding.priority import PriorityEntryShedder
+from ..shedding.queue_shedder import QueueShedder
+from ..shedding.semantic import SemanticEntryShedder
+
+
+class Actuator(abc.ABC):
+    """Applies one period's admission allowance."""
+
+    #: True when drops happen before the engine (no Departure records) —
+    #: loss accounting must then add ``dropped_total`` separately.
+    drops_outside_engine = False
+
+    def __init__(self):
+        self.offered_total = 0
+        self.dropped_total = 0
+
+    @abc.abstractmethod
+    def begin_period(self, allowed_tuples: float, expected_inflow: float) -> None:
+        """Arm the actuator for the coming period."""
+
+    @abc.abstractmethod
+    def admit(self, values: tuple = (), source: str = "") -> bool:
+        """Filter one arriving tuple (True = pass it to the engine).
+
+        ``values`` and ``source`` let value-aware (semantic) and
+        priority-aware actuators choose victims; plain actuators ignore
+        them.
+        """
+
+    def end_period(self, admitted: int) -> int:
+        """Close the period; returns tuples shed retroactively (if any)."""
+        return 0
+
+    @property
+    def loss_ratio(self) -> float:
+        if self.offered_total == 0:
+            return 0.0
+        return self.dropped_total / self.offered_total
+
+
+class EntryActuator(Actuator):
+    """Eq. 13 coin-flip shedding at the stream entry."""
+
+    drops_outside_engine = True
+
+    def __init__(self, shedder: Optional[EntryShedder] = None):
+        super().__init__()
+        self.shedder = shedder or EntryShedder()
+
+    def begin_period(self, allowed_tuples: float, expected_inflow: float) -> None:
+        self.shedder.set_allowance(allowed_tuples, expected_inflow)
+
+    def admit(self, values: tuple = (), source: str = "") -> bool:
+        self.offered_total += 1
+        ok = self.shedder.admit()
+        if not ok:
+            self.dropped_total += 1
+        return ok
+
+    @property
+    def alpha(self) -> float:
+        """Current drop probability (for logging)."""
+        return self.shedder.alpha
+
+
+class InNetworkActuator(Actuator):
+    """Continuous in-network queue culling (random-location or LSRM)."""
+
+    def __init__(self, shedder: Union[QueueShedder, LsrmShedder],
+                 rng: Optional[random.Random] = None):
+        super().__init__()
+        self.shedder = shedder
+        self.rng = rng or random.Random(0)
+        self._alpha = 0.0
+        self._allowance = float("inf")
+        self._culled_this_period = 0
+
+    def begin_period(self, allowed_tuples: float, expected_inflow: float) -> None:
+        self._alpha = drop_probability(allowed_tuples, expected_inflow)
+        self._allowance = max(allowed_tuples, 0.0)
+        self._culled_this_period = 0
+
+    def admit(self, values: tuple = (), source: str = "") -> bool:
+        """Admit the arrival; cull one queued tuple with probability alpha."""
+        self.offered_total += 1
+        if self._alpha > 0.0 and self.rng.random() < self._alpha:
+            got = self.shedder.shed_tuples(1)
+            self.dropped_total += got
+            self._culled_this_period += got
+        return True
+
+    def end_period(self, admitted: int) -> int:
+        """Reconcile: remove any surplus the probabilistic culling missed."""
+        if admitted < 0:
+            raise SheddingError("admitted count cannot be negative")
+        surplus = (admitted - self._culled_this_period) - self._allowance
+        if surplus <= 0:
+            return self._culled_this_period
+        shed = self.shedder.shed_tuples(int(round(surplus)))
+        self.dropped_total += shed
+        return self._culled_this_period + shed
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+
+class SemanticEntryActuator(Actuator):
+    """Value-aware entry shedding: drop the least useful tuples first.
+
+    Same allowance semantics as :class:`EntryActuator`, but victims are
+    chosen by a utility function instead of a fair coin (the semantic
+    shedding of the Aurora line of work). The realized loss ratio matches
+    the statistical shedder's; the retained *utility* is higher.
+    """
+
+    drops_outside_engine = True
+
+    def __init__(self, shedder: SemanticEntryShedder):
+        super().__init__()
+        self.shedder = shedder
+
+    def begin_period(self, allowed_tuples: float, expected_inflow: float) -> None:
+        self.shedder.set_allowance(allowed_tuples, expected_inflow)
+
+    def admit(self, values: tuple = (), source: str = "") -> bool:
+        self.offered_total += 1
+        ok = self.shedder.admit(values)
+        if not ok:
+            self.dropped_total += 1
+        return ok
+
+    @property
+    def alpha(self) -> float:
+        return self.shedder.alpha
+
+    @property
+    def utility_retention(self) -> float:
+        return self.shedder.utility_retention
+
+
+class PriorityEntryActuator(Actuator):
+    """Strict-priority entry shedding across multiple sources.
+
+    The controller's aggregate allowance is water-filled down the priority
+    order (paper Section 6's heterogeneous-guarantees extension): drops
+    concentrate on the lowest-priority streams.
+    """
+
+    drops_outside_engine = True
+
+    def __init__(self, shedder: PriorityEntryShedder):
+        super().__init__()
+        self.shedder = shedder
+
+    def begin_period(self, allowed_tuples: float, expected_inflow: float) -> None:
+        self.shedder.set_allowance(allowed_tuples, expected_inflow)
+
+    def admit(self, values: tuple = (), source: str = "") -> bool:
+        self.offered_total += 1
+        ok = self.shedder.admit(source)
+        if not ok:
+            self.dropped_total += 1
+        return ok
+
+    @property
+    def alpha(self) -> float:
+        """Aggregate drop expectation over the current mix (for logging)."""
+        probs = self.shedder.admit_probability
+        if not probs:
+            return 0.0
+        return 1.0 - sum(probs.values()) / len(probs)
+
+    def loss_by_source(self):
+        return self.shedder.loss_by_source()
+
+
+class SamplingActuator(Actuator):
+    """Deterministic decimation — the paper's adaptation (ii).
+
+    Instead of a coin flip, admit every n-th tuple where the stride is
+    recomputed each period from the allowance (reducing the effective
+    sampling rate of the sources). Deterministic spacing gives the same
+    expected loss as Eq. 13 with lower variance, at the cost of aliasing
+    risk on periodic data.
+    """
+
+    drops_outside_engine = True
+
+    def __init__(self):
+        super().__init__()
+        self._admit_ratio = 1.0
+        self._accumulator = 0.0
+
+    def begin_period(self, allowed_tuples: float, expected_inflow: float) -> None:
+        if expected_inflow <= 0:
+            self._admit_ratio = 1.0
+        else:
+            self._admit_ratio = min(1.0, max(0.0,
+                                             allowed_tuples / expected_inflow))
+
+    def admit(self, values: tuple = (), source: str = "") -> bool:
+        """Error-diffusion decimation: admit when the ratio accumulates to 1."""
+        self.offered_total += 1
+        self._accumulator += self._admit_ratio
+        if self._accumulator >= 1.0:
+            self._accumulator -= 1.0
+            return True
+        self.dropped_total += 1
+        return False
+
+    @property
+    def alpha(self) -> float:
+        return 1.0 - self._admit_ratio

@@ -1,0 +1,133 @@
+"""Controller synthesis for the DSMS plant (paper Appendix A).
+
+For the integrator plant ``G(z) = cT/(H(z-1))`` and a first-order controller
+``C(z) = H(b0 z + b1) / (cT (z + a))`` (Eq. 15), matching the closed-loop
+characteristic equation (Eq. 17) to the desired one (Eq. 14) gives::
+
+    a - 1 + b0 = -(p1 + p2)          (z^1 coefficient)
+    -a + b1    = p1 * p2             (z^0 coefficient)
+
+The static-gain condition (Eq. 19) is ``b0 + b1 = (1-p1)(1-p2)``, which for
+this integrator plant is *implied* by the two matching equations — the loop
+has one remaining degree of freedom, the controller pole ``-a``. The paper
+picks ``a = -0.8`` (with poles 0.7/0.7 this yields its published constants
+``b0 = 0.4, b1 = -0.31``); we expose the same choice as
+``controller_pole=0.8``.
+
+:func:`gains_from_specs` maps engineering specs (convergence in N periods,
+damping ratio) to pole locations, following the paper's reasoning: a pole
+at 0.7 decays to 1/e in about three periods, damping 1 avoids oscillation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..control import Polynomial, TransferFunction
+from ..errors import ControlError, UnstableDesignError
+from .model import DsmsModel
+
+#: the paper's published parameter set (Section 5)
+PAPER_B0 = 0.4
+PAPER_B1 = -0.31
+PAPER_A = -0.8
+PAPER_POLES = (0.7, 0.7)
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """Normalized controller parameters (independent of c, T, H).
+
+    The full controller is ``C(z) = H(b0 z + b1)/(cT(z + a))``; the
+    ``H/(cT)`` factor is applied at runtime with the current cost estimate
+    (Section 4.4.1, "handling time-varying characteristics").
+    """
+
+    b0: float
+    b1: float
+    a: float
+
+    def transfer_function(self, model: DsmsModel) -> TransferFunction:
+        """The controller C(z) for a concrete model instance (Eq. 15)."""
+        k = model.headroom / (model.cost * model.period)
+        return TransferFunction(
+            Polynomial([k * self.b0, k * self.b1]),
+            Polynomial([1.0, self.a]),
+        )
+
+    def closed_loop(self, model: DsmsModel) -> TransferFunction:
+        """Reference-to-output closed loop C G / (1 + C G) (Eq. 16)."""
+        return (self.transfer_function(model) * model.plant()).feedback()
+
+    def closed_loop_poles(self) -> Tuple[complex, complex]:
+        """Roots of Eq. 17 — independent of c, T, H by construction."""
+        char = Polynomial([1.0, self.a - 1.0 + self.b0, -self.a + self.b1])
+        roots = char.roots()
+        return complex(roots[0]), complex(roots[1])
+
+
+def design_gains(poles: Tuple[float, float] = PAPER_POLES,
+                 controller_pole: float = 0.8) -> ControllerGains:
+    """Solve the Appendix-A Diophantine equations for the controller gains.
+
+    ``poles`` are the desired closed-loop poles (must be a real pair or a
+    conjugate pair inside the unit circle); ``controller_pole`` pins the
+    free parameter ``a = -controller_pole``.
+    """
+    p1, p2 = complex(poles[0]), complex(poles[1])
+    if abs((p1 + p2).imag) > 1e-12 or abs((p1 * p2).imag) > 1e-12:
+        raise ControlError("closed-loop poles must be real or a conjugate pair")
+    if abs(p1) >= 1.0 or abs(p2) >= 1.0:
+        raise UnstableDesignError(f"requested poles {poles} not inside unit circle")
+    if not -1.0 < controller_pole < 1.0:
+        raise UnstableDesignError(
+            f"controller pole {controller_pole} outside the unit circle"
+        )
+    sum_p = (p1 + p2).real
+    prod_p = (p1 * p2).real
+    a = -controller_pole
+    b0 = 1.0 - sum_p - a        # from: a - 1 + b0 = -(p1 + p2)
+    b1 = prod_p + a             # from: -a + b1 = p1 p2
+    gains = ControllerGains(b0=b0, b1=b1, a=a)
+    # Eq. 19 must hold automatically (integrator plant); verify defensively.
+    static = gains.b0 + gains.b1
+    expected = (1.0 - sum_p + prod_p)
+    if abs(static - expected) > 1e-9:
+        raise ControlError(
+            f"static-gain identity violated (got {static}, want {expected})"
+        )
+    return gains
+
+
+def poles_from_specs(convergence_periods: float = 3.0,
+                     damping: float = 1.0) -> Tuple[complex, complex]:
+    """Pole pair from convergence-rate and damping specs (Section 4.4.1).
+
+    ``convergence_periods`` is the 1/e time constant in control periods
+    (the paper uses 3, i.e. radius ``exp(-1/3) ≈ 0.7``); ``damping`` in
+    (0, 1] sets oscillation (1 = critically damped, the paper's choice).
+    """
+    if convergence_periods <= 0:
+        raise ControlError("convergence must be a positive number of periods")
+    if not 0.0 < damping <= 1.0:
+        raise ControlError(f"damping must be in (0, 1], got {damping}")
+    sigma = -1.0 / convergence_periods          # continuous-equivalent decay
+    if damping == 1.0:
+        r = math.exp(sigma)
+        return (complex(r, 0.0), complex(r, 0.0))
+    theta = -sigma * math.sqrt(1.0 - damping ** 2) / damping
+    if theta >= math.pi:
+        raise ControlError(
+            "requested damping/convergence alias past the Nyquist frequency; "
+            "increase damping or slow the convergence"
+        )
+    r = math.exp(sigma)
+    return (complex(r * math.cos(theta), r * math.sin(theta)),
+            complex(r * math.cos(theta), -r * math.sin(theta)))
+
+
+def paper_gains() -> ControllerGains:
+    """The exact constants reported in Section 5 of the paper."""
+    return ControllerGains(b0=PAPER_B0, b1=PAPER_B1, a=PAPER_A)

@@ -1,0 +1,71 @@
+"""Borealis-like stream engine substrate.
+
+The paper evaluates on the Borealis stream manager; this subpackage is the
+Python stand-in (see DESIGN.md §2 for the substitution argument): a query
+network of costed operators with per-operator FIFO queues, a round-robin
+scheduler, and a discrete-event engine driven by a virtual CPU clock with a
+headroom factor. :class:`VirtualQueueEngine` is the fast single-FIFO model
+(the paper's Eq. 2 abstraction) sharing the same interface.
+"""
+
+from .builder import (
+    DEFAULT_CAPACITY,
+    chain_network,
+    expected_identification_cost,
+    identification_network,
+    monitoring_network,
+)
+from .catalog import Catalog, OperatorStats, PeriodStats, Snapshot
+from .engine import Departure, Engine
+from .fluid import VirtualQueueEngine
+from .network import QueryNetwork
+from .operators import (
+    AggregateOperator,
+    FilterOperator,
+    MapOperator,
+    Operator,
+    RandomDropOperator,
+    Sink,
+    UnionOperator,
+    WindowJoinOperator,
+)
+from .queues import OperatorQueue
+from .scheduler import (
+    DepthFirstScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    TopologicalScheduler,
+)
+from .tuple_ import Lineage, StreamTuple, make_source_tuple
+
+__all__ = [
+    "AggregateOperator",
+    "Catalog",
+    "DEFAULT_CAPACITY",
+    "Departure",
+    "DepthFirstScheduler",
+    "Engine",
+    "FilterOperator",
+    "Lineage",
+    "MapOperator",
+    "Operator",
+    "OperatorQueue",
+    "OperatorStats",
+    "PeriodStats",
+    "QueryNetwork",
+    "RandomDropOperator",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Sink",
+    "Snapshot",
+    "StreamTuple",
+    "TopologicalScheduler",
+    "UnionOperator",
+    "VirtualQueueEngine",
+    "WindowJoinOperator",
+    "chain_network",
+    "expected_identification_cost",
+    "identification_network",
+    "make_source_tuple",
+    "monitoring_network",
+]

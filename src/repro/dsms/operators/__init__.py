@@ -1,0 +1,22 @@
+"""Query-network operators."""
+
+from .base import Operator, Sink, StatelessOperator
+from .stateless import (
+    FilterOperator,
+    MapOperator,
+    RandomDropOperator,
+    UnionOperator,
+)
+from .windowed import AggregateOperator, WindowJoinOperator
+
+__all__ = [
+    "AggregateOperator",
+    "FilterOperator",
+    "MapOperator",
+    "Operator",
+    "RandomDropOperator",
+    "Sink",
+    "StatelessOperator",
+    "UnionOperator",
+    "WindowJoinOperator",
+]

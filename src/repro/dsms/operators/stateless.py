@@ -1,0 +1,102 @@
+"""Stateless operators: filter, map, union, and the shedder's random drop.
+
+These are the building blocks of the identification network (paper
+Section 4.2: filters whose selectivity is pinned by uniformly distributed
+input values, plus fixed-cost transformation boxes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from ...errors import NetworkError
+from ..tuple_ import StreamTuple
+from .base import Operator, StatelessOperator
+
+
+class FilterOperator(StatelessOperator):
+    """Emit the tuple unchanged when ``predicate(values)`` holds."""
+
+    def __init__(self, name: str, cost: float,
+                 predicate: Callable[[Tuple], bool]):
+        super().__init__(name, cost)
+        self.predicate = predicate
+
+    def apply(self, tup: StreamTuple, port: int, now: float) -> List[StreamTuple]:
+        return [tup] if self.predicate(tup.values) else []
+
+    @classmethod
+    def threshold(cls, name: str, cost: float, selectivity: float,
+                  field: int = 0) -> "FilterOperator":
+        """A filter passing tuples whose ``field`` value is below ``selectivity``.
+
+        With field values uniform on [0, 1) the pass rate equals
+        ``selectivity`` exactly — the trick the paper uses to keep the
+        network's expected cost constant during system identification.
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise NetworkError(f"selectivity {selectivity} outside [0, 1]")
+        return cls(name, cost, lambda values: values[field] < selectivity)
+
+
+class MapOperator(StatelessOperator):
+    """Apply ``fn`` to the value tuple; emit exactly one output."""
+
+    def __init__(self, name: str, cost: float,
+                 fn: Optional[Callable[[Tuple], Tuple]] = None):
+        super().__init__(name, cost)
+        self.fn = fn
+
+    def apply(self, tup: StreamTuple, port: int, now: float) -> List[StreamTuple]:
+        if self.fn is None:
+            return [tup]
+        return [tup.derive(self.fn(tup.values))]
+
+
+class UnionOperator(StatelessOperator):
+    """Merge any number of input streams into one (pass-through)."""
+
+    arity = None  # accepts any number of inputs
+
+    def apply(self, tup: StreamTuple, port: int, now: float) -> List[StreamTuple]:
+        return [tup]
+
+
+class RandomDropOperator(StatelessOperator):
+    """Drop each tuple with probability ``drop_probability``.
+
+    This is the primitive the Aurora load shedder inserts into the network;
+    plans adjust :attr:`drop_probability` at runtime. Dropped tuples are
+    counted so loss accounting can attribute data loss to shedding.
+    """
+
+    def __init__(self, name: str, cost: float = 0.0,
+                 drop_probability: float = 0.0,
+                 rng: Optional[random.Random] = None):
+        super().__init__(name, cost)
+        self._p = 0.0
+        self.drop_probability = drop_probability
+        self.dropped = 0
+        self.rng = rng or random.Random()
+
+    @property
+    def drop_probability(self) -> float:
+        return self._p
+
+    @drop_probability.setter
+    def drop_probability(self, p: float) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise NetworkError(f"drop probability {p} outside [0, 1]")
+        self._p = float(p)
+
+    def apply(self, tup: StreamTuple, port: int, now: float) -> List[StreamTuple]:
+        if self._p > 0.0 and self.rng.random() < self._p:
+            self.dropped += 1
+            tup.lineage.shed = True
+            return []
+        return [tup]
+
+    def reset(self) -> None:
+        super().reset()
+        self.dropped = 0

@@ -1,0 +1,100 @@
+"""Per-operator FIFO waiting queues.
+
+Borealis places intermediate results in waiting queues of individual
+operators and extracts them first-in-first-out (paper Section 4.2). Each
+queued entry remembers the input port it is destined for (a window join has
+two ports). The queue keeps enqueue/dequeue/shed counters so the monitor
+and the in-network load shedder can account for outstanding load.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, List, Tuple
+
+from .tuple_ import StreamTuple
+
+#: one queued entry: (tuple, destination input port)
+QueueEntry = Tuple[StreamTuple, int]
+
+
+class OperatorQueue:
+    """A FIFO queue in front of one operator."""
+
+    __slots__ = ("name", "_items", "enqueued", "dequeued", "shed")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._items: Deque[QueueEntry] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+        self.shed = 0
+
+    def push(self, item: StreamTuple, port: int = 0) -> None:
+        self._items.append((item, port))
+        self.enqueued += 1
+
+    def pop(self) -> QueueEntry:
+        if not self._items:
+            raise IndexError(f"queue {self.name!r} is empty")
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> QueueEntry:
+        if not self._items:
+            raise IndexError(f"queue {self.name!r} is empty")
+        return self._items[0]
+
+    def shed_fraction(self, fraction: float, rng: random.Random) -> List[StreamTuple]:
+        """Randomly remove ~``fraction`` of queued tuples; return the victims.
+
+        This is the primitive used by the in-network shedder the authors
+        built for their evaluation ("allows shedding from the queue and
+        randomly selects shedding locations").
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"shed fraction {fraction} outside [0, 1]")
+        if fraction == 0.0 or not self._items:
+            return []
+        keep: Deque[QueueEntry] = deque()
+        victims: List[StreamTuple] = []
+        for entry in self._items:
+            if rng.random() < fraction:
+                victims.append(entry[0])
+            else:
+                keep.append(entry)
+        self._items = keep
+        self.shed += len(victims)
+        return victims
+
+    def shed_count(self, count: int, rng: random.Random) -> List[StreamTuple]:
+        """Randomly remove up to ``count`` queued tuples; return the victims."""
+        if count < 0:
+            raise ValueError("shed count must be non-negative")
+        count = min(count, len(self._items))
+        if count == 0:
+            return []
+        indices = set(rng.sample(range(len(self._items)), count))
+        keep: Deque[QueueEntry] = deque()
+        victims: List[StreamTuple] = []
+        for i, entry in enumerate(self._items):
+            if i in indices:
+                victims.append(entry[0])
+            else:
+                keep.append(entry)
+        self._items = keep
+        self.shed += len(victims)
+        return victims
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        return f"OperatorQueue({self.name!r}, depth={len(self._items)})"

@@ -1,0 +1,113 @@
+"""Operator schedulers.
+
+The current version of Borealis uses a round-robin policy to schedule
+operators (paper Section 4.2); queues are drained FIFO, so no tuple
+priorities arise and the network behaves like one virtual FIFO queue — the
+observation the whole control design rests on. :class:`RoundRobinScheduler`
+reproduces that policy; :class:`TopologicalScheduler` is an alternative that
+always drains upstream operators first (useful to show the model is
+scheduler-robust, as the paper conjectures in Section 5.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from ..errors import SchedulingError
+from .network import QueryNetwork
+from .queues import OperatorQueue
+
+
+class Scheduler(abc.ABC):
+    """Chooses which operator queue the engine serves next."""
+
+    def __init__(self, network: QueryNetwork):
+        self.network = network
+
+    @abc.abstractmethod
+    def next_operator(self, queues: Dict[str, OperatorQueue]) -> Optional[str]:
+        """Name of the next operator with work, or None if all queues empty."""
+
+    def reset(self) -> None:
+        """Clear any scheduling state."""
+
+
+class RoundRobinScheduler(Scheduler):
+    """Serve operators in fixed cyclic order, one *train* per visit.
+
+    By default (``batch=None``) each visit drains everything queued at the
+    operator before moving on — Borealis' train processing. This keeps
+    inventories bounded: with a fixed per-visit tuple quantum, an operator
+    fed by two upstreams receives twice what it may serve per cycle and its
+    queue grows without bound even below capacity. A finite ``batch`` is
+    still available to study that effect.
+    """
+
+    def __init__(self, network: QueryNetwork, batch: Optional[int] = None):
+        super().__init__(network)
+        if batch is not None and batch < 1:
+            raise SchedulingError(f"batch must be >= 1, got {batch}")
+        self.batch = batch
+        self._order: List[str] = network.topological_order()
+        self._cursor = 0
+        self._remaining_in_visit = batch
+
+    def next_operator(self, queues: Dict[str, OperatorQueue]) -> Optional[str]:
+        if not self._order:
+            return None
+        n = len(self._order)
+        # finish the current visit while the operator has work and quantum
+        current = self._order[self._cursor]
+        if queues[current] and (self._remaining_in_visit is None
+                                or self._remaining_in_visit > 0):
+            if self._remaining_in_visit is not None:
+                self._remaining_in_visit -= 1
+            return current
+        # advance cyclically to the next non-empty queue
+        for step in range(1, n + 1):
+            idx = (self._cursor + step) % n
+            name = self._order[idx]
+            if queues[name]:
+                self._cursor = idx
+                self._remaining_in_visit = None if self.batch is None else self.batch - 1
+                return name
+        return None
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._remaining_in_visit = self.batch
+        self._order = self.network.topological_order()
+
+
+class DepthFirstScheduler(Scheduler):
+    """Serve the most-downstream operator that has queued work.
+
+    Pushes each tuple all the way through the network before admitting the
+    next, so tuples are served in global arrival order with near-zero
+    in-network inventory — the operator-granular realization of the paper's
+    *virtual FIFO queue* idealization (Eq. 1: a tuple is not processed until
+    all earlier outstanding tuples are cleared). This is the engine default
+    because it is exactly the service discipline the paper's model assumes;
+    the round-robin alternative reproduces Borealis' scheduler and yields
+    the same average behaviour with lumpier departures.
+    """
+
+    def __init__(self, network: QueryNetwork):
+        super().__init__(network)
+        self._order = network.topological_order()
+
+    def next_operator(self, queues: Dict[str, OperatorQueue]) -> Optional[str]:
+        # serving the most DOWNSTREAM non-empty queue first pushes each tuple
+        # through to the exit before starting the next one
+        for name in reversed(self._order):
+            if queues[name]:
+                return name
+        return None
+
+    def reset(self) -> None:
+        self._order = self.network.topological_order()
+
+
+#: backwards-compatible alias (the discipline walks the topology depth-first)
+TopologicalScheduler = DepthFirstScheduler

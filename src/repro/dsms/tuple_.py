@@ -1,0 +1,93 @@
+"""Stream tuple data model.
+
+A :class:`StreamTuple` is one data item flowing through the query network.
+Tuples derived from the same source arrival share a :class:`Lineage` object;
+the engine uses the lineage's reference count to decide when the *source*
+tuple has fully left the network (the paper measures delay "till it leaves
+the query network", taking the longest path for branched plans — counting
+the last derived tuple to finish implements exactly that).
+
+Window residency inside join/aggregate operators deliberately does **not**
+hold a lineage reference: the paper's delay is queueing plus processing
+time, and a tuple sitting in a join window has already been processed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+
+class Lineage:
+    """Book-keeping shared by every tuple derived from one source arrival."""
+
+    __slots__ = ("arrived", "refcount", "shed", "_on_departed", "departed_at")
+
+    def __init__(self, arrived: float,
+                 on_departed: Optional[Callable[["Lineage", float], None]] = None):
+        #: wall-clock (virtual) time the source tuple reached the engine buffer
+        self.arrived = arrived
+        #: number of live derived tuples (including the source tuple itself)
+        self.refcount = 1
+        #: True when the tuple was discarded by a load shedder (lost data)
+        self.shed = False
+        #: virtual time at which the last derived tuple left the network
+        self.departed_at: Optional[float] = None
+        self._on_departed = on_departed
+
+    def fork(self, copies: int) -> None:
+        """Register ``copies`` additional live derived tuples."""
+        if copies < 0:
+            raise ValueError("cannot fork a negative number of copies")
+        self.refcount += copies
+
+    def release(self, now: float) -> bool:
+        """Drop one reference; returns True when the source tuple departs."""
+        if self.refcount <= 0:
+            raise RuntimeError("lineage released more times than referenced")
+        self.refcount -= 1
+        if self.refcount == 0:
+            self.departed_at = now
+            if self._on_departed is not None:
+                self._on_departed(self, now)
+            return True
+        return False
+
+    @property
+    def delay(self) -> Optional[float]:
+        """Processing delay in seconds, or None while still outstanding."""
+        if self.departed_at is None:
+            return None
+        return self.departed_at - self.arrived
+
+
+class StreamTuple:
+    """One data item: immutable values plus shared lineage."""
+
+    __slots__ = ("values", "lineage", "source")
+
+    def __init__(self, values: Tuple, lineage: Lineage, source: str = ""):
+        self.values = values
+        self.lineage = lineage
+        self.source = source
+
+    @property
+    def arrived(self) -> float:
+        return self.lineage.arrived
+
+    def derive(self, values: Tuple) -> "StreamTuple":
+        """A new tuple carrying this tuple's lineage (no refcount change).
+
+        The caller (an operator emitting outputs) is responsible for the
+        fork/release accounting; see :meth:`Lineage.fork`.
+        """
+        return StreamTuple(values, self.lineage, self.source)
+
+    def __repr__(self) -> str:
+        return f"StreamTuple({self.values!r}, arrived={self.arrived:.3f})"
+
+
+def make_source_tuple(values: Tuple, arrived: float, source: str = "",
+                      on_departed: Optional[Callable[[Lineage, float], None]] = None
+                      ) -> StreamTuple:
+    """Create a fresh source tuple with its own lineage."""
+    return StreamTuple(values, Lineage(arrived, on_departed), source)

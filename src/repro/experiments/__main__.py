@@ -1,0 +1,159 @@
+"""Command-line figure regeneration: ``python -m repro.experiments <figure>``.
+
+Runs one paper experiment at the full 400-second setting and prints the
+same rows/series the figure reports. ``all`` runs everything (minutes).
+
+Examples::
+
+    python -m repro.experiments fig12
+    python -m repro.experiments fig19 --duration 200
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..metrics.report import ascii_series, format_table, qos_table, ratio_table
+from .comparison import compare_both_workloads, compare_strategies
+from .config import ExperimentConfig
+from .overhead import controller_overhead
+from .period_sweep import PAPER_PERIODS, period_sweep
+from .robustness import PAPER_BIAS_FACTORS, aurora_retuned, burstiness_sweep
+from .setpoint import PAPER_SCHEDULE, setpoint_tracking
+from .sysid import model_verification, step_response
+from .runner import make_workload
+from ..workloads import sinusoid_rate, step_rate
+
+
+def _fig5(config: ExperimentConfig) -> None:
+    results = step_response(config=config)
+    rows = []
+    for rate, r in sorted(results.items()):
+        tail = r.delay_increments[-8:]
+        rows.append([f"{rate:.0f}", f"{r.delays[-1]:.2f}",
+                     f"{sum(tail) / len(tail):.3f}",
+                     "saturated" if r.saturated else "steady"])
+    print(format_table(["rate t/s", "final y (s)", "dy/dk", "regime"], rows))
+
+
+def _fig6(config: ExperimentConfig) -> None:
+    result = model_verification(step_rate(80, 10, 10.0, 300.0), config)
+    rows = [[f"{h:.2f}", f"{f.rms_error:.3f}"]
+            for h, f in sorted(result.fits.items())]
+    print(format_table(["candidate H", "RMS error (s)"], rows))
+    print(f"best H = {result.best_headroom():.2f}")
+
+
+def _fig7(config: ExperimentConfig) -> None:
+    result = model_verification(sinusoid_rate(200, 50, 0.0, 400.0), config)
+    rows = [[f"{h:.2f}", f"{f.rms_error:.3f}"]
+            for h, f in sorted(result.fits.items())]
+    print(format_table(["candidate H", "RMS error (s)"], rows))
+    print(f"best H = {result.best_headroom():.2f}")
+
+
+def _fig12(config: ExperimentConfig) -> None:
+    for kind, res in compare_both_workloads(config).items():
+        print(f"\n[{kind}] absolute:")
+        print(qos_table(res.metrics))
+        print(f"[{kind}] relative to CTRL:")
+        print(ratio_table(res.metrics, reference="CTRL"))
+
+
+def _fig13(config: ExperimentConfig) -> None:
+    for kind in ("web", "pareto"):
+        trace = make_workload(kind, config)
+        print(ascii_series(list(trace), title=f"{kind} rate (t/s)",
+                           y_label="time (s) ->"))
+
+
+def _fig14(config: ExperimentConfig) -> None:
+    from .runner import make_cost_trace
+    trace = make_cost_trace(config)
+    print(ascii_series([v * 1000 for v in trace], title="cost (ms)",
+                       y_label="time (s) ->"))
+
+
+def _fig15(config: ExperimentConfig) -> None:
+    res = compare_strategies("web", config)
+    for name in ("CTRL", "BASELINE", "AURORA"):
+        print(ascii_series(res.transient(name), title=f"{name} y(k) (s)",
+                           y_label="time (s) ->"))
+        print()
+
+
+def _fig16(config: ExperimentConfig) -> None:
+    rows = []
+    for kind in ("web", "pareto"):
+        r = aurora_retuned(kind, config)
+        rows.append([kind, f"{r.aurora_metrics.accumulated_violation:.0f}",
+                     f"{r.ctrl_metrics.accumulated_violation:.0f}",
+                     f"{r.relative_loss:.2f}"])
+    print(format_table(["workload", "aurora(0.96) acc_viol", "ctrl acc_viol",
+                        "loss ratio"], rows))
+
+
+def _fig17(config: ExperimentConfig) -> None:
+    for name in ("CTRL", "AURORA"):
+        sweep = burstiness_sweep(name, config)
+        rows = [[f"{b:.2f}", f"{q.accumulated_violation:.0f}",
+                 f"{q.loss_ratio:.3f}"]
+                for b, q in sorted(sweep.metrics.items())]
+        print(f"[{name}]")
+        print(format_table(["beta", "acc_viol (s)", "loss"], rows))
+
+
+def _fig18(config: ExperimentConfig) -> None:
+    res = setpoint_tracking(config.scaled(use_cost_trace=False),
+                            schedule=PAPER_SCHEDULE)
+    for name in ("CTRL", "BASELINE", "AURORA"):
+        print(ascii_series(res.transient(name), title=f"{name} y(k) (s)",
+                           y_label="time (s) ->"))
+        print()
+
+
+def _fig19(config: ExperimentConfig) -> None:
+    sweep = period_sweep(config, periods=PAPER_PERIODS)
+    rows = [[f"{t * 1000:.2f}", f"{q.accumulated_violation:.0f}",
+             f"{q.loss_ratio:.3f}"]
+            for t, q in sorted(sweep.metrics.items())]
+    print(format_table(["T (ms)", "acc_viol (s)", "loss"], rows))
+
+
+def _overhead(config: ExperimentConfig) -> None:
+    r = controller_overhead()
+    print(f"{r.microseconds_per_decision:.2f} us per control decision "
+          f"({r.iterations} iterations)")
+
+
+FIGURES = {
+    "fig5": _fig5, "fig6": _fig6, "fig7": _fig7, "fig12": _fig12,
+    "fig13": _fig13, "fig14": _fig14, "fig15": _fig15, "fig16": _fig16,
+    "fig17": _fig17, "fig18": _fig18, "fig19": _fig19,
+    "overhead": _overhead,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's evaluation figures.",
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    parser.add_argument("--duration", type=float, default=400.0,
+                        help="simulated seconds per run (default 400)")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    config = ExperimentConfig(duration=args.duration, seed=args.seed)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        FIGURES[name](config)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

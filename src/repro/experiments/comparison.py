@@ -1,0 +1,64 @@
+"""Strategy comparison experiments (paper Figs. 12 and 15).
+
+Runs CTRL, BASELINE and AURORA over the Web and Pareto traces with the
+Fig. 14 cost variations, and reports the paper's four metrics in absolute
+form plus Fig. 12's ratios-to-CTRL, along with the Fig. 15 transient
+``y(k)`` series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..metrics.qos import QosMetrics, relative_metrics
+from ..metrics.recorder import RunRecord
+from .config import ExperimentConfig
+from .runner import make_cost_trace, make_workload, run_all_strategies
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Figs. 12 + 15 for one workload."""
+
+    workload: str
+    records: Dict[str, RunRecord]
+    metrics: Dict[str, QosMetrics]
+
+    def ratios_to_ctrl(self) -> Dict[str, Dict[str, float]]:
+        """Fig. 12: each strategy's metrics relative to CTRL."""
+        ref = self.metrics["CTRL"]
+        return {
+            name: relative_metrics(q, ref)
+            for name, q in self.metrics.items()
+        }
+
+    def transient(self, strategy: str) -> List[float]:
+        """Fig. 15: the y(k) series for one strategy."""
+        return self.records[strategy].true_delays()
+
+
+def compare_strategies(workload_kind: str,
+                       config: Optional[ExperimentConfig] = None,
+                       strategies: Optional[List[str]] = None,
+                       actuator: str = "entry") -> ComparisonResult:
+    """Run the Fig. 12/15 experiment for 'web' or 'pareto'."""
+    config = config or ExperimentConfig()
+    workload = make_workload(workload_kind, config)
+    cost_trace = make_cost_trace(config)
+    records = run_all_strategies(workload, config, cost_trace,
+                                 strategies=strategies, actuator=actuator)
+    metrics = {name: rec.qos() for name, rec in records.items()}
+    return ComparisonResult(
+        workload=workload_kind, records=records, metrics=metrics
+    )
+
+
+def compare_both_workloads(config: Optional[ExperimentConfig] = None
+                           ) -> Dict[str, ComparisonResult]:
+    """The full Fig. 12: both the Web and the Pareto input."""
+    config = config or ExperimentConfig()
+    return {
+        kind: compare_strategies(kind, config)
+        for kind in ("web", "pareto")
+    }

@@ -1,0 +1,63 @@
+"""Controller computational overhead (paper Section 5.1).
+
+The paper measures ~20 microseconds per control decision on a Pentium 4
+2.4 GHz — trivial against control periods of hundreds of milliseconds.
+This module times one controller step (the Eq. 10 arithmetic plus the
+actuation bookkeeping) on the host machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import DsmsModel, Measurement, PolePlacementController
+from .config import ExperimentConfig
+
+
+def _measurement(k: int, model: DsmsModel) -> Measurement:
+    """A synthetic measurement with representative magnitudes."""
+    q = 350 + (k % 37)
+    return Measurement(
+        k=k,
+        time=float(k),
+        queue_length=q,
+        cost=model.cost * (1.0 + 0.1 * ((k % 10) - 5) / 5.0),
+        measured_cost=model.cost,
+        inflow_rate=250.0,
+        outflow_rate=180.0,
+        delay_estimate=model.delay_estimate(q),
+        admitted=250,
+        departed=180,
+        shed=0,
+        departures=[],
+    )
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Per-decision controller cost."""
+
+    iterations: int
+    total_seconds: float
+
+    @property
+    def microseconds_per_decision(self) -> float:
+        return 1e6 * self.total_seconds / self.iterations
+
+
+def controller_overhead(iterations: int = 100_000,
+                        config: Optional[ExperimentConfig] = None
+                        ) -> OverheadResult:
+    """Time ``iterations`` CTRL decisions back to back."""
+    config = config or ExperimentConfig()
+    model = DsmsModel(cost=config.base_cost, headroom=config.headroom,
+                      period=config.period)
+    controller = PolePlacementController(model)
+    measurements = [_measurement(k, model) for k in range(100)]
+    start = time.perf_counter()
+    for k in range(iterations):
+        controller.decide(measurements[k % 100], config.target)
+    elapsed = time.perf_counter() - start
+    return OverheadResult(iterations=iterations, total_seconds=elapsed)

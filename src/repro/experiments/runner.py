@@ -1,0 +1,163 @@
+"""Shared machinery: build an engine + control loop and run one strategy."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Union
+
+from ..core import (
+    AdaptiveController,
+    AuroraOpenLoopController,
+    BackpressureController,
+    BaselineController,
+    ControlLoop,
+    Controller,
+    DsmsModel,
+    EntryActuator,
+    InNetworkActuator,
+    Monitor,
+    PolePlacementController,
+)
+from ..dsms import Engine, VirtualQueueEngine, identification_network
+from ..errors import ExperimentError
+from ..metrics.recorder import RunRecord
+from ..shedding import LsrmShedder, QueueShedder
+from ..workloads import (
+    CostTrace,
+    RateTrace,
+    arrivals_from_trace,
+    fig14_cost_trace,
+    pareto_rate_trace_with_mean,
+    web_rate_trace,
+)
+from .config import ExperimentConfig
+
+#: strategy name -> controller factory
+STRATEGIES: Dict[str, Callable[[DsmsModel], Controller]] = {
+    "CTRL": PolePlacementController,
+    "BASELINE": BaselineController,
+    "AURORA": AuroraOpenLoopController,
+    "BACKPRESSURE": BackpressureController,
+    "ADAPTIVE": AdaptiveController,
+}
+
+ACTUATORS = ("entry", "queue", "lsrm")
+
+
+def make_workload(kind: str, config: ExperimentConfig,
+                  beta: float = 1.0) -> RateTrace:
+    """The paper's two input traces by name ('web' or 'pareto')."""
+    n = config.n_periods
+    if kind == "web":
+        return web_rate_trace(n, mean_rate=config.mean_rate,
+                              period=config.period, seed=config.seed)
+    if kind == "pareto":
+        return pareto_rate_trace_with_mean(
+            n, beta=beta, target_mean=config.pareto_mean_rate,
+            period=config.period, seed=config.seed,
+        )
+    raise ExperimentError(f"unknown workload kind {kind!r}")
+
+
+def make_cost_trace(config: ExperimentConfig) -> Optional[CostTrace]:
+    """The Fig. 14 cost trace, or None when the config disables it."""
+    if not config.use_cost_trace:
+        return None
+    return fig14_cost_trace(int(config.duration), base_cost=config.base_cost,
+                            seed=config.seed)
+
+
+def build_engine(config: ExperimentConfig,
+                 cost_trace: Optional[CostTrace] = None,
+                 engine_seed: int = 0) -> Engine:
+    """A fresh identification-network engine wired to the cost trace."""
+    multiplier = (cost_trace.as_multiplier(config.base_cost)
+                  if cost_trace is not None else None)
+    return Engine(
+        identification_network(capacity=config.capacity),
+        headroom=config.headroom,
+        cost_multiplier=multiplier,
+        rng=random.Random(engine_seed),
+    )
+
+
+def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
+                 workload: RateTrace,
+                 config: ExperimentConfig,
+                 cost_trace: Optional[CostTrace] = None,
+                 target: Union[float, Callable[[int], float], None] = None,
+                 actuator: str = "entry",
+                 arrival_seed: Optional[int] = None,
+                 controller_kwargs: Optional[dict] = None,
+                 estimator_factory: Optional[Callable[[], object]] = None,
+                 engine_kind: str = "full") -> RunRecord:
+    """Run one strategy over one workload; returns the full run record.
+
+    ``estimator_factory`` overrides the config's cost estimator (used by
+    the estimator ablation benchmark). ``engine_kind`` selects the full
+    discrete-event engine (default) or the fast single-FIFO
+    ``"fluid"`` model (Eq. 2) — the fluid engine supports only the entry
+    actuator.
+    """
+    if isinstance(strategy, str):
+        try:
+            factory = STRATEGIES[strategy]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown strategy {strategy!r}; pick from {sorted(STRATEGIES)}"
+            ) from None
+    else:
+        factory = strategy
+    if actuator not in ACTUATORS:
+        raise ExperimentError(f"unknown actuator {actuator!r}; pick from {ACTUATORS}")
+    if engine_kind == "full":
+        engine = build_engine(config, cost_trace)
+    elif engine_kind == "fluid":
+        if actuator != "entry":
+            raise ExperimentError(
+                "the fluid engine has no operator queues; use actuator='entry'"
+            )
+        multiplier = (cost_trace.as_multiplier(config.base_cost)
+                      if cost_trace is not None else None)
+        engine = VirtualQueueEngine(cost=config.base_cost,
+                                    headroom=config.headroom,
+                                    cost_multiplier=multiplier)
+    else:
+        raise ExperimentError(f"unknown engine kind {engine_kind!r}")
+    model = DsmsModel(cost=config.base_cost, headroom=config.headroom,
+                      period=config.period)
+    estimator = (estimator_factory() if estimator_factory is not None
+                 else config.make_cost_estimator())
+    monitor = Monitor(engine, model, cost_estimator=estimator)
+    controller = factory(model, **(controller_kwargs or {}))
+    if actuator == "entry":
+        act = EntryActuator()
+    elif actuator == "queue":
+        act = InNetworkActuator(QueueShedder(engine, random.Random(config.seed)))
+    else:
+        act = InNetworkActuator(LsrmShedder(engine, random.Random(config.seed)))
+    loop = ControlLoop(
+        engine, controller, monitor, act,
+        target=config.target if target is None else target,
+        period=config.period,
+        cycle_cost=config.control_overhead,
+    )
+    arrivals = arrivals_from_trace(
+        workload,
+        poisson=config.poisson_arrivals,
+        seed=config.seed if arrival_seed is None else arrival_seed,
+    )
+    return loop.run(arrivals, config.duration)
+
+
+def run_all_strategies(workload: RateTrace, config: ExperimentConfig,
+                       cost_trace: Optional[CostTrace] = None,
+                       strategies: Optional[List[str]] = None,
+                       actuator: str = "entry") -> Dict[str, RunRecord]:
+    """Run several strategies over the same workload (Fig. 12/15 helper)."""
+    names = strategies or ["CTRL", "BASELINE", "AURORA"]
+    return {
+        name: run_strategy(name, workload, config, cost_trace,
+                           actuator=actuator)
+        for name in names
+    }

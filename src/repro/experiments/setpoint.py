@@ -1,0 +1,86 @@
+"""Setpoint-tracking experiment (paper Fig. 18).
+
+The target delay is changed at runtime — 1 s initially, 3 s at the 150th
+second, 5 s at the 300th — and the three strategies' y(k) trajectories are
+compared. CTRL converges quickly to each new target; AURORA (open loop)
+does not respond to yd at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..metrics.recorder import RunRecord
+from .config import ExperimentConfig
+from .runner import make_cost_trace, make_workload, run_strategy
+
+#: the paper's schedule: (period index, target seconds)
+PAPER_SCHEDULE = ((0, 1.0), (150, 3.0), (300, 5.0))
+
+
+def schedule_fn(schedule: Sequence[Tuple[int, float]]):
+    """Turn a sorted (from_period, target) list into a k -> yd function."""
+    if not schedule:
+        raise ExperimentError("empty target schedule")
+    steps = sorted(schedule)
+    if steps[0][0] != 0:
+        raise ExperimentError("schedule must define the target from period 0")
+
+    def fn(k: int) -> float:
+        current = steps[0][1]
+        for start, value in steps:
+            if k >= start:
+                current = value
+            else:
+                break
+        return current
+    return fn
+
+
+@dataclass(frozen=True)
+class SetpointResult:
+    """Fig. 18 bundle."""
+
+    records: Dict[str, RunRecord]
+    schedule: Tuple[Tuple[int, float], ...]
+
+    def transient(self, strategy: str) -> List[float]:
+        return self.records[strategy].true_delays()
+
+    def settling_periods(self, strategy: str, change_at: int,
+                         tolerance: float = 0.25) -> int:
+        """Periods until y(k) stays within ``tolerance`` of the new target.
+
+        Returns a large sentinel (the remaining horizon) when the strategy
+        never settles — AURORA's expected behaviour.
+        """
+        fn = schedule_fn(self.schedule)
+        target = fn(change_at)
+        y = self.transient(strategy)
+        horizon = len(y)
+        next_change = min((s for s, __ in self.schedule if s > change_at),
+                          default=horizon)
+        for k in range(change_at, next_change):
+            window = y[k:min(k + 5, next_change)]
+            if window and all(abs(v - target) <= tolerance * target
+                              for v in window):
+                return k - change_at
+        return next_change - change_at
+
+
+def setpoint_tracking(config: Optional[ExperimentConfig] = None,
+                      schedule: Sequence[Tuple[int, float]] = PAPER_SCHEDULE,
+                      strategies: Sequence[str] = ("CTRL", "BASELINE", "AURORA"),
+                      workload_kind: str = "web") -> SetpointResult:
+    """Fig. 18: run the strategies under a time-varying delay target."""
+    config = config or ExperimentConfig()
+    workload = make_workload(workload_kind, config)
+    cost_trace = make_cost_trace(config)
+    fn = schedule_fn(schedule)
+    records = {
+        name: run_strategy(name, workload, config, cost_trace, target=fn)
+        for name in strategies
+    }
+    return SetpointResult(records=records, schedule=tuple(schedule))

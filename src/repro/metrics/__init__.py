@@ -1,0 +1,30 @@
+"""QoS metrics, run recording, reporting, and export."""
+
+from .export import (
+    departures_to_csv,
+    load_json,
+    periods_to_csv,
+    record_to_json,
+)
+from .qos import (
+    QosMetrics,
+    delay_percentiles,
+    compute_qos,
+    delays_by_arrival_period,
+    relative_metrics,
+)
+from .recorder import PeriodRecord, RunRecord
+
+__all__ = [
+    "PeriodRecord",
+    "QosMetrics",
+    "RunRecord",
+    "compute_qos",
+    "delay_percentiles",
+    "delays_by_arrival_period",
+    "departures_to_csv",
+    "load_json",
+    "periods_to_csv",
+    "record_to_json",
+    "relative_metrics",
+]

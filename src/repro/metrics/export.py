@@ -1,0 +1,90 @@
+"""Exporting run records for external analysis (CSV / JSON).
+
+``RunRecord`` objects hold everything a run produced; these helpers
+flatten them into formats a notebook or gnuplot can consume, so the
+figures can be replotted outside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ExperimentError
+from .recorder import RunRecord
+
+PathLike = Union[str, Path]
+
+#: column order of the per-period CSV
+PERIOD_FIELDS = (
+    "k", "time", "target", "delay_estimate", "queue_length", "cost",
+    "inflow_rate", "outflow_rate", "offered", "admitted", "shed_retro",
+    "v", "u", "error", "alpha",
+)
+
+
+def periods_to_csv(record: RunRecord, path: PathLike) -> Path:
+    """One row per control period (the online view of the run)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(PERIOD_FIELDS)
+        for p in record.periods:
+            writer.writerow([getattr(p, f) for f in PERIOD_FIELDS])
+    return path
+
+
+def departures_to_csv(record: RunRecord, path: PathLike) -> Path:
+    """One row per resolved tuple: arrival, departure, delay, shed flag."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["arrived", "departed", "delay", "shed"])
+        for d in record.departures:
+            writer.writerow([d.arrived, d.departed, d.delay, int(d.shed)])
+    return path
+
+
+def record_to_json(record: RunRecord, path: PathLike,
+                   include_departures: bool = False) -> Path:
+    """Summary + per-period series as one JSON document."""
+    qos = record.qos()
+    doc = {
+        "period": record.period,
+        "duration": record.duration,
+        "offered_total": record.offered_total,
+        "entry_dropped_total": record.entry_dropped_total,
+        "wall_seconds": record.wall_seconds,
+        "qos": {
+            "accumulated_violation": qos.accumulated_violation,
+            "delayed_tuples": qos.delayed_tuples,
+            "max_overshoot": qos.max_overshoot,
+            "delivered": qos.delivered,
+            "shed": qos.shed,
+            "loss_ratio": qos.loss_ratio,
+            "mean_delay": qos.mean_delay,
+        },
+        "periods": [
+            {f: getattr(p, f) for f in PERIOD_FIELDS}
+            for p in record.periods
+        ],
+        "true_delays": record.true_delays(),
+    }
+    if include_departures:
+        doc["departures"] = [
+            {"arrived": d.arrived, "departed": d.departed, "shed": d.shed}
+            for d in record.departures
+        ]
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2))
+    return path
+
+
+def load_json(path: PathLike) -> dict:
+    """Read back a document written by :func:`record_to_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such export: {path}")
+    return json.loads(path.read_text())

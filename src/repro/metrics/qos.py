@@ -1,0 +1,166 @@
+"""QoS metrics (paper Section 3).
+
+The paper evaluates adaptation strategies on four quantities:
+
+* **accumulated delay violations** — ``sum(y - yd)`` over all delivered
+  tuples whose processing delay exceeded the target;
+* **total delayed tuples** — the count of such tuples;
+* **maximal overshoot** — the largest single ``y - yd`` (transient-state
+  performance);
+* **data loss ratio** — fraction of offered tuples discarded by shedding
+  (the price paid for the adaptation).
+
+Delay metrics are computed over *delivered* tuples: a tuple discarded by a
+query operator (a filter) completed normal processing and counts; a tuple
+discarded by the load shedder is lost data and counts toward loss, not
+delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Union
+
+from ..dsms.engine import Departure
+from ..errors import ExperimentError
+
+TargetLike = Union[float, Callable[[float], float]]
+
+
+def _target_fn(target: TargetLike) -> Callable[[float], float]:
+    if callable(target):
+        return target
+    value = float(target)
+    if value < 0:
+        raise ExperimentError(f"negative delay target {value}")
+    return lambda t: value
+
+
+@dataclass(frozen=True)
+class QosMetrics:
+    """Aggregated quality metrics for one run."""
+
+    accumulated_violation: float   # seconds of delay beyond target, summed
+    delayed_tuples: int            # tuples with delay > target
+    max_overshoot: float           # worst single violation (seconds)
+    delivered: int                 # tuples that completed processing
+    shed: int                      # tuples lost to shedding
+    offered: int                   # tuples offered to the system
+    mean_delay: float              # mean delay of delivered tuples
+
+    @property
+    def loss_ratio(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    @property
+    def violation_ratio(self) -> float:
+        """Fraction of delivered tuples that missed the target."""
+        if self.delivered == 0:
+            return 0.0
+        return self.delayed_tuples / self.delivered
+
+
+def compute_qos(departures: Iterable[Departure],
+                target: TargetLike,
+                offered: int) -> QosMetrics:
+    """Aggregate the paper's four metrics from resolved departures.
+
+    ``target`` may be a constant or a function of the tuple's *arrival*
+    time (the Fig. 18 setpoint schedule); a tuple is judged against the
+    target in force when it arrived.
+    """
+    if offered < 0:
+        raise ExperimentError("offered count cannot be negative")
+    fn = _target_fn(target)
+    acc = 0.0
+    delayed = 0
+    worst = 0.0
+    delivered = 0
+    shed = 0
+    total_delay = 0.0
+    for d in departures:
+        if d.shed:
+            shed += 1
+            continue
+        delivered += 1
+        total_delay += d.delay
+        excess = d.delay - fn(d.arrived)
+        if excess > 0:
+            acc += excess
+            delayed += 1
+            if excess > worst:
+                worst = excess
+    return QosMetrics(
+        accumulated_violation=acc,
+        delayed_tuples=delayed,
+        max_overshoot=worst,
+        delivered=delivered,
+        shed=shed,
+        offered=offered,
+        mean_delay=total_delay / delivered if delivered else 0.0,
+    )
+
+
+def relative_metrics(candidate: QosMetrics, reference: QosMetrics,
+                     epsilon: float = 1e-9) -> dict:
+    """Per-metric ratios candidate/reference (the paper's Fig. 12 format)."""
+    def ratio(a: float, b: float) -> float:
+        return a / b if abs(b) > epsilon else float("inf") if a > epsilon else 1.0
+
+    return {
+        "accumulated_violation": ratio(candidate.accumulated_violation,
+                                       reference.accumulated_violation),
+        "delayed_tuples": ratio(candidate.delayed_tuples,
+                                reference.delayed_tuples),
+        "max_overshoot": ratio(candidate.max_overshoot,
+                               reference.max_overshoot),
+        "loss_ratio": ratio(candidate.loss_ratio, reference.loss_ratio),
+    }
+
+
+def delay_percentiles(departures: Iterable[Departure],
+                      quantiles: Iterable[float] = (0.5, 0.95, 0.99)
+                      ) -> dict:
+    """Delay quantiles over delivered tuples (tail-latency view).
+
+    The paper reports aggregate violations; percentile delays are the
+    metric modern systems quote. Returns {quantile: delay-seconds}; empty
+    input yields zeros.
+    """
+    delays = sorted(d.delay for d in departures if not d.shed)
+    out = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ExperimentError(f"quantile {q} outside [0, 1]")
+        if not delays:
+            out[q] = 0.0
+        else:
+            idx = min(len(delays) - 1, int(q * len(delays)))
+            out[q] = delays[idx]
+    return out
+
+
+def delays_by_arrival_period(departures: Iterable[Departure],
+                             period: float) -> List[float]:
+    """Average delivered delay grouped by the tuple's arrival period.
+
+    This is the quantity the paper plots as ``y(k)`` in Figs. 5-7 and 15:
+    the mean processing delay of the tuples that *arrived* during period k.
+    Periods with no delivered arrivals carry 0.
+    """
+    if period <= 0:
+        raise ExperimentError("period must be positive")
+    sums: dict = {}
+    counts: dict = {}
+    last = -1
+    for d in departures:
+        if d.shed:
+            continue
+        k = int(d.arrived // period)
+        sums[k] = sums.get(k, 0.0) + d.delay
+        counts[k] = counts.get(k, 0) + 1
+        last = max(last, k)
+    return [sums.get(k, 0.0) / counts[k] if counts.get(k) else 0.0
+            for k in range(last + 1)]

@@ -1,0 +1,97 @@
+"""Plain-text rendering of experiment results (tables and ASCII charts).
+
+The benchmark harness prints the same rows/series the paper's figures
+report; these helpers keep that output consistent and readable in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .qos import QosMetrics
+
+#: the four headline metrics in the paper's Fig. 12 order
+METRIC_COLUMNS = ("accumulated_violation", "delayed_tuples",
+                  "max_overshoot", "loss_ratio")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 precision: int = 3) -> str:
+    """A simple aligned text table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in text_rows)
+    return "\n".join(out)
+
+
+def qos_row(name: str, q: QosMetrics) -> List[object]:
+    """One table row in the standard metric order."""
+    return [name, q.accumulated_violation, q.delayed_tuples,
+            q.max_overshoot, q.loss_ratio]
+
+
+def qos_table(results: Dict[str, QosMetrics]) -> str:
+    """A table of absolute metrics, one row per strategy."""
+    headers = ["strategy", "acc_violation_s", "delayed_tuples",
+               "max_overshoot_s", "loss_ratio"]
+    return format_table(headers, [qos_row(n, q) for n, q in results.items()])
+
+
+def ratio_table(results: Dict[str, QosMetrics], reference: str) -> str:
+    """The paper's Fig. 12 format: every metric relative to ``reference``."""
+    from .qos import relative_metrics
+    ref = results[reference]
+    headers = ["strategy"] + list(METRIC_COLUMNS)
+    rows = []
+    for name, q in results.items():
+        rel = relative_metrics(q, ref)
+        rows.append([name] + [rel[m] for m in METRIC_COLUMNS])
+    return format_table(headers, rows)
+
+
+def ascii_series(values: Sequence[float], width: int = 72, height: int = 12,
+                 title: Optional[str] = None,
+                 y_label: str = "") -> str:
+    """A crude line chart for time series (y(k) plots)."""
+    if not values:
+        return "(empty series)"
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    # downsample to the requested width
+    n = len(values)
+    step = max(1, n // width)
+    cols = [max(values[i:i + step]) for i in range(0, n, step)][:width]
+    grid = [[" "] * len(cols) for __ in range(height)]
+    for x, v in enumerate(cols):
+        row = int((v - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - row][x] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = ""
+        if i == 0:
+            label = f"{hi:8.2f} "
+        elif i == height - 1:
+            label = f"{lo:8.2f} "
+        else:
+            label = " " * 9
+        lines.append(label + "".join(row))
+    if y_label:
+        lines.append(" " * 9 + y_label)
+    return "\n".join(lines)

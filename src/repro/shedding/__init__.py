@@ -1,0 +1,25 @@
+"""Load-shedder substrate: entry coin-flip, in-network random, and LSRM."""
+
+from .base import LoadShedder, drop_probability
+from .entry import EntryShedder
+from .lsrm import LoadSheddingRoadmap, LsrmShedder, output_yield
+from .plan import DropLocation, SheddingPlan, rank_locations
+from .priority import PriorityEntryShedder
+from .queue_shedder import QueueShedder
+from .semantic import SemanticEntryShedder, StreamingQuantile
+
+__all__ = [
+    "DropLocation",
+    "EntryShedder",
+    "LoadShedder",
+    "LoadSheddingRoadmap",
+    "LsrmShedder",
+    "PriorityEntryShedder",
+    "QueueShedder",
+    "SemanticEntryShedder",
+    "SheddingPlan",
+    "StreamingQuantile",
+    "drop_probability",
+    "output_yield",
+    "rank_locations",
+]

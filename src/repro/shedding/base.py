@@ -1,0 +1,67 @@
+"""Load-shedder (actuator) interface.
+
+A load shedder is the control loop's *actuator* (paper Fig. 3): given the
+controller's desired admissions for the next period, it discards load so the
+engine receives approximately that amount. The paper studies two
+realizations (Section 4.5.2):
+
+* shedding *intact* tuples at the stream entry (:class:`EntryShedder` —
+  Eq. 13's coin flip), and
+* shedding *partially processed* tuples from queues inside the network
+  (:class:`~repro.shedding.queue_shedder.QueueShedder`, plus the
+  LSRM-optimized :class:`~repro.shedding.lsrm.LsrmShedder`),
+
+and argues they are equivalent for delay control because the model depends
+only on the outstanding load, not on where it is discarded.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from ..errors import SheddingError
+
+
+class LoadShedder(abc.ABC):
+    """Turns a desired admission count into actual drops."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self.rng = rng or random.Random(0)
+        #: tuples deliberately discarded so far
+        self.dropped_total = 0
+        #: tuples offered to the shedder so far (entry shedders only)
+        self.offered_total = 0
+
+    @abc.abstractmethod
+    def set_allowance(self, tuples_allowed: float, expected_inflow: float) -> None:
+        """Configure shedding for the next control period.
+
+        ``tuples_allowed`` is the controller's desired number of admissions
+        during the next period (``v(k) * T``); ``expected_inflow`` is the
+        estimate of how many tuples will arrive (the paper uses the current
+        period's count, ``fin(k)``, for ``fin(k+1)``).
+        """
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of offered tuples dropped so far."""
+        if self.offered_total == 0:
+            return 0.0
+        return self.dropped_total / self.offered_total
+
+
+def drop_probability(tuples_allowed: float, expected_inflow: float) -> float:
+    """The paper's Eq. 13: ``alpha = 1 - v(k)/fin(k+1)``, clamped to [0, 1].
+
+    The clamp is the actuator-saturation guard: the controller may ask for
+    more admissions than will arrive (alpha < 0 -> admit everything) or for
+    negative admissions (alpha > 1 -> drop everything).
+    """
+    if expected_inflow < 0:
+        raise SheddingError(f"negative expected inflow {expected_inflow}")
+    if expected_inflow == 0:
+        return 0.0
+    alpha = 1.0 - tuples_allowed / expected_inflow
+    return min(1.0, max(0.0, alpha))

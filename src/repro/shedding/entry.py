@@ -1,0 +1,33 @@
+"""Entry-point load shedder (the paper's first actuator, Section 4.5.2).
+
+Treats the DSMS as a black box: each arriving tuple is admitted with
+probability ``1 - alpha`` where ``alpha`` is recomputed every control period
+from the controller's desired inflow (Eq. 13). Dropped tuples never enter
+the query network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .base import LoadShedder, drop_probability
+
+
+class EntryShedder(LoadShedder):
+    """Coin-flip admission control in front of the engine."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        super().__init__(rng)
+        self.alpha = 0.0
+
+    def set_allowance(self, tuples_allowed: float, expected_inflow: float) -> None:
+        self.alpha = drop_probability(tuples_allowed, expected_inflow)
+
+    def admit(self) -> bool:
+        """Flip the unfair coin for one arriving tuple."""
+        self.offered_total += 1
+        if self.alpha > 0.0 and self.rng.random() < self.alpha:
+            self.dropped_total += 1
+            return False
+        return True

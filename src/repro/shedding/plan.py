@@ -1,0 +1,67 @@
+"""Shedding-plan data structures.
+
+A :class:`DropLocation` is one place in the query network where load can be
+discarded, annotated with the two quantities Aurora's Load Shedding Roadmap
+(LSRM) ranks locations by:
+
+* **gain** — CPU load saved per tuple dropped there (the location's load
+  coefficient: its own cost plus selectivity-weighted downstream cost);
+* **loss** — query results lost per tuple dropped there (expected number of
+  network outputs the tuple would have produced).
+
+A :class:`SheddingPlan` is a concrete assignment of drop counts to
+locations, totalling a given saved load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import SheddingError
+
+
+@dataclass(frozen=True)
+class DropLocation:
+    """A candidate drop point (in front of operator ``operator``)."""
+
+    operator: str
+    gain: float   # CPU seconds saved per dropped tuple
+    loss: float   # expected output tuples lost per dropped tuple
+
+    @property
+    def loss_gain_ratio(self) -> float:
+        """Utility lost per unit of load saved (lower = better place to shed)."""
+        if self.gain <= 0:
+            return float("inf")
+        return self.loss / self.gain
+
+
+@dataclass
+class SheddingPlan:
+    """Per-location drop counts for one shedding action."""
+
+    drops: Dict[str, int] = field(default_factory=dict)
+    load_saved: float = 0.0
+    outputs_lost: float = 0.0
+
+    def add(self, location: DropLocation, count: int) -> None:
+        if count < 0:
+            raise SheddingError("drop count must be non-negative")
+        if count == 0:
+            return
+        self.drops[location.operator] = self.drops.get(location.operator, 0) + count
+        self.load_saved += location.gain * count
+        self.outputs_lost += location.loss * count
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops.values())
+
+    def __bool__(self) -> bool:
+        return bool(self.drops)
+
+
+def rank_locations(locations: List[DropLocation]) -> List[DropLocation]:
+    """LSRM ordering: ascending loss/gain, ties broken by larger gain."""
+    return sorted(locations, key=lambda l: (l.loss_gain_ratio, -l.gain))

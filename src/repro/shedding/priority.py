@@ -1,0 +1,102 @@
+"""Priority-aware shedding across multiple streams.
+
+The paper's Section 6 proposes "heterogeneous quality guarantees for
+streams with different priorities" as an extension. This shedder takes the
+single aggregate allowance the controller produces and splits it across
+named sources by strict priority with *water-filling*: high-priority
+streams are admitted in full while any allowance remains; the drop burden
+falls on the lowest priorities first. Within one priority class the
+residual allowance is shared proportionally (a per-class coin flip).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..errors import SheddingError
+from .base import LoadShedder
+
+
+class PriorityEntryShedder(LoadShedder):
+    """Strict-priority admission control over multiple sources.
+
+    ``priorities`` maps source name to a numeric priority (higher = more
+    important). Expected per-source inflows are tracked from the observed
+    mix of the previous period.
+    """
+
+    def __init__(self, priorities: Dict[str, float],
+                 rng: Optional[random.Random] = None):
+        super().__init__(rng)
+        if not priorities:
+            raise SheddingError("need at least one source priority")
+        self.priorities = dict(priorities)
+        #: per-source admit probability for the current period
+        self.admit_probability: Dict[str, float] = {
+            name: 1.0 for name in priorities
+        }
+        self._seen_this_period: Dict[str, int] = {n: 0 for n in priorities}
+        self._seen_last_period: Dict[str, int] = {n: 0 for n in priorities}
+        self.dropped_by_source: Dict[str, int] = {n: 0 for n in priorities}
+        self.offered_by_source: Dict[str, int] = {n: 0 for n in priorities}
+
+    def set_allowance(self, tuples_allowed: float, expected_inflow: float) -> None:
+        """Water-fill the aggregate allowance down the priority order.
+
+        The per-source inflow expectation is last period's observed count,
+        rescaled so the mix sums to ``expected_inflow`` (the aggregate
+        estimate the control loop supplies).
+        """
+        self._seen_last_period = dict(self._seen_this_period)
+        self._seen_this_period = {n: 0 for n in self.priorities}
+        mix_total = sum(self._seen_last_period.values())
+        if mix_total <= 0:
+            # no history: assume a uniform mix
+            share = {n: 1.0 / len(self.priorities) for n in self.priorities}
+        else:
+            share = {n: c / mix_total
+                     for n, c in self._seen_last_period.items()}
+        expected = {n: share[n] * max(expected_inflow, 0.0)
+                    for n in self.priorities}
+        remaining = max(tuples_allowed, 0.0)
+        # admit in descending priority; ties share proportionally
+        for prio in sorted(set(self.priorities.values()), reverse=True):
+            klass = [n for n, p in self.priorities.items() if p == prio]
+            demand = sum(expected[n] for n in klass)
+            if demand <= 0:
+                for n in klass:
+                    self.admit_probability[n] = 1.0
+                continue
+            if remaining >= demand:
+                for n in klass:
+                    self.admit_probability[n] = 1.0
+                remaining -= demand
+            else:
+                fraction = remaining / demand
+                for n in klass:
+                    self.admit_probability[n] = fraction
+                remaining = 0.0
+
+    def admit(self, source: str = "") -> bool:
+        """Per-source coin flip with the water-filled probability."""
+        if source not in self.priorities:
+            raise SheddingError(f"unknown source {source!r}")
+        self.offered_total += 1
+        self.offered_by_source[source] += 1
+        self._seen_this_period[source] += 1
+        p = self.admit_probability[source]
+        if p >= 1.0 or self.rng.random() < p:
+            return True
+        self.dropped_total += 1
+        self.dropped_by_source[source] += 1
+        return False
+
+    def loss_by_source(self) -> Dict[str, float]:
+        """Per-source realized loss ratios."""
+        out = {}
+        for name in self.priorities:
+            offered = self.offered_by_source[name]
+            out[name] = (self.dropped_by_source[name] / offered
+                         if offered else 0.0)
+        return out

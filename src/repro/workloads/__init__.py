@@ -1,0 +1,58 @@
+"""Workload generators: arrival-rate traces, cost traces, tuple arrivals.
+
+Reproduces the paper's inputs — the Pareto synthetic stream with its bias
+factor, a self-similar web-request trace standing in for LBL-PKT-4, the
+step/sinusoid identification signals, and the Fig. 14 time-varying cost
+trace with its peak/jump/terrace circumstances.
+"""
+
+from .arrivals import (
+    Arrival,
+    arrivals_from_trace,
+    iter_arrivals,
+    merge_arrivals,
+    uniform_values,
+)
+from .costs import (
+    Circumstance,
+    constant_cost_trace,
+    cost_trace,
+    fig14_circumstances,
+    fig14_cost_trace,
+)
+from .pareto import pareto_median, pareto_rate_trace, pareto_rate_trace_with_mean
+from .patterns import (
+    constant_rate,
+    piecewise_rate,
+    ramp_rate,
+    sinusoid_rate,
+    square_rate,
+    step_rate,
+)
+from .trace import CostTrace, RateTrace
+from .web import load_ita_trace, web_rate_trace
+
+__all__ = [
+    "Arrival",
+    "Circumstance",
+    "CostTrace",
+    "RateTrace",
+    "arrivals_from_trace",
+    "constant_cost_trace",
+    "constant_rate",
+    "cost_trace",
+    "fig14_circumstances",
+    "fig14_cost_trace",
+    "iter_arrivals",
+    "load_ita_trace",
+    "merge_arrivals",
+    "pareto_median",
+    "pareto_rate_trace",
+    "pareto_rate_trace_with_mean",
+    "piecewise_rate",
+    "ramp_rate",
+    "sinusoid_rate",
+    "square_rate",
+    "step_rate",
+    "uniform_values",
+]

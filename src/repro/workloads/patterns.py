@@ -1,0 +1,54 @@
+"""Deterministic rate-trace patterns.
+
+RateTrace builders for the shapes used in system identification and in the
+paper's Fig. 8 discussion: steps (Fig. 5), sinusoids (Fig. 7), monotone
+ramps (Fig. 8A instability example), and piecewise-constant profiles
+(Fig. 8B/C step-change examples).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..control import signals
+from .trace import RateTrace
+
+
+def constant_rate(rate: float, n_periods: int, period: float = 1.0) -> RateTrace:
+    """A flat trace."""
+    return RateTrace(signals.constant(rate, n_periods), period)
+
+
+def step_rate(n_periods: int, step_at: int, low: float, high: float,
+              period: float = 1.0) -> RateTrace:
+    """The Fig. 5 step: ``low`` until ``step_at`` periods, then ``high``."""
+    return RateTrace(signals.step(n_periods, step_at, low, high), period)
+
+
+def sinusoid_rate(n_periods: int, cycle_periods: float, low: float, high: float,
+                  period: float = 1.0) -> RateTrace:
+    """The Fig. 7 sinusoid, ranging over [low, high]."""
+    return RateTrace(
+        signals.sinusoid(n_periods, cycle_periods, low, high), period
+    )
+
+
+def ramp_rate(n_periods: int, start: float, slope: float,
+              period: float = 1.0) -> RateTrace:
+    """A monotone increase (Fig. 8A: open-loop instability trigger)."""
+    values = signals.ramp(n_periods, start, slope)
+    return RateTrace([max(v, 0.0) for v in values], period)
+
+
+def piecewise_rate(segments: Sequence[Tuple[int, float]],
+                   period: float = 1.0) -> RateTrace:
+    """Concatenated constant segments ``(n_periods, rate)`` (Fig. 8B/C)."""
+    return RateTrace(signals.piecewise(segments), period)
+
+
+def square_rate(n_periods: int, cycle_periods: int, low: float, high: float,
+                period: float = 1.0) -> RateTrace:
+    """Alternating low/high bursts with a 50% duty cycle."""
+    return RateTrace(
+        signals.square_wave(n_periods, cycle_periods, low, high), period
+    )

@@ -1,0 +1,110 @@
+"""Trace containers.
+
+A :class:`RateTrace` is a per-period sequence of arrival rates (tuples per
+second per control period) — the paper's Fig. 13 curves. A
+:class:`CostTrace` is a per-period sequence of per-tuple CPU costs — the
+paper's Fig. 14 curve. Both support basic arithmetic, resampling, and
+conversion to a continuous lookup function for the engine's cost
+multiplier.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List
+
+from ..errors import WorkloadError
+
+
+class _PeriodSeries:
+    """Shared behaviour: a value per fixed-length period."""
+
+    def __init__(self, values: Iterable[float], period: float = 1.0):
+        self.values: List[float] = [float(v) for v in values]
+        if not self.values:
+            raise WorkloadError("trace must have at least one period")
+        if period <= 0:
+            raise WorkloadError(f"period must be positive, got {period}")
+        if any(v < 0 for v in self.values):
+            raise WorkloadError("trace values must be non-negative")
+        self.period = float(period)
+
+    @property
+    def duration(self) -> float:
+        """Total covered time in seconds."""
+        return len(self.values) * self.period
+
+    def at(self, t: float) -> float:
+        """Value for the period containing time ``t`` (clamped at the ends)."""
+        idx = int(t // self.period)
+        idx = max(0, min(idx, len(self.values) - 1))
+        return self.values[idx]
+
+    def as_function(self) -> Callable[[float], float]:
+        """A ``t -> value`` lookup suitable for engine callbacks."""
+        return self.at
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def peak(self) -> float:
+        return max(self.values)
+
+    def scaled(self, factor: float):
+        if factor < 0:
+            raise WorkloadError("scale factor must be non-negative")
+        return type(self)([v * factor for v in self.values], self.period)
+
+    def clipped(self, low: float, high: float):
+        if low > high:
+            raise WorkloadError("clip bounds inverted")
+        return type(self)([min(max(v, low), high) for v in self.values],
+                          self.period)
+
+    def resampled(self, new_period: float):
+        """Piecewise-constant resampling onto a different period grid."""
+        if new_period <= 0:
+            raise WorkloadError("new period must be positive")
+        n = int(math.ceil(self.duration / new_period))
+        mids = [(i + 0.5) * new_period for i in range(n)]
+        return type(self)([self.at(t) for t in mids], new_period)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, idx: int) -> float:
+        return self.values[idx]
+
+
+class RateTrace(_PeriodSeries):
+    """Arrival rates (tuples/second), one value per period."""
+
+    def total_tuples(self) -> float:
+        """Expected number of tuples over the full trace."""
+        return sum(v * self.period for v in self.values)
+
+    def burstiness(self) -> float:
+        """Coefficient of variation of per-period rates (0 = constant)."""
+        mu = self.mean()
+        if mu == 0:
+            return 0.0
+        var = sum((v - mu) ** 2 for v in self.values) / len(self.values)
+        return math.sqrt(var) / mu
+
+
+class CostTrace(_PeriodSeries):
+    """Per-tuple CPU cost (seconds), one value per period."""
+
+    def as_multiplier(self, base_cost: float) -> Callable[[float], float]:
+        """A ``t -> cost(t)/base_cost`` multiplier for the engines.
+
+        The engines store nominal operator costs summing to ``base_cost``
+        per tuple; scaling by ``cost(t)/base_cost`` makes the *effective*
+        per-tuple cost follow this trace (the paper's Fig. 14 setup).
+        """
+        if base_cost <= 0:
+            raise WorkloadError("base cost must be positive")
+        return lambda t: self.at(t) / base_cost

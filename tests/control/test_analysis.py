@@ -1,0 +1,145 @@
+"""Unit tests for stability/damping/step-metric analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control import (
+    TransferFunction,
+    closed_loop_poles,
+    complementary_sensitivity,
+    convergence_periods,
+    disturbance_rejection_gain,
+    dominant_pole,
+    is_stable,
+    pole_damping,
+    pole_time_constant,
+    sensitivity,
+    spectral_radius,
+    step_metrics,
+    step_response,
+)
+from repro.errors import ControlError
+from .test_transfer_function import paper_controller, paper_plant
+
+
+class TestStability:
+    def test_stable_tf(self):
+        assert is_stable(TransferFunction([1.0], [1.0, -0.5]))
+
+    def test_integrator_is_marginally_unstable(self):
+        assert not is_stable(TransferFunction.integrator(1.0))
+
+    def test_unstable_pole(self):
+        assert not is_stable(TransferFunction([1.0], [1.0, -1.5]))
+
+    def test_gain_has_no_poles(self):
+        assert is_stable(TransferFunction.gain(10.0))
+        assert spectral_radius(TransferFunction.gain(10.0)) == 0.0
+
+    def test_spectral_radius(self):
+        tf = TransferFunction([1.0], [1.0, -1.2, 0.35])  # poles 0.7, 0.5
+        assert spectral_radius(tf) == pytest.approx(0.7)
+
+    def test_paper_closed_loop_is_stable(self):
+        closed = (paper_controller() * paper_plant()).feedback()
+        assert is_stable(closed)
+        assert spectral_radius(closed) == pytest.approx(0.7, abs=1e-3)
+
+
+class TestPoleCharacteristics:
+    def test_real_positive_pole_critically_damped(self):
+        assert pole_damping(0.7 + 0j) == pytest.approx(1.0)
+
+    def test_unit_circle_pole_undamped(self):
+        assert pole_damping(complex(math.cos(0.5), math.sin(0.5))) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unstable_pole_negative_damping(self):
+        assert pole_damping(1.2 + 0.3j) < 0.0
+
+    def test_origin_pole_deadbeat(self):
+        assert pole_damping(0j) == pytest.approx(1.0)
+
+    def test_time_constant(self):
+        # paper: pole at 0.7 ~ three-period convergence (e^{-1/3} ≈ 0.717)
+        assert convergence_periods(0.7) == pytest.approx(2.8, abs=0.1)
+        assert pole_time_constant(0.7, period=2.0) == pytest.approx(5.6, abs=0.2)
+        assert pole_time_constant(1.0) == float("inf")
+        assert pole_time_constant(0.0) == 0.0
+
+    def test_dominant_pole(self):
+        tf = TransferFunction([1.0], [1.0, -1.2, 0.35])
+        assert dominant_pole(tf).real == pytest.approx(0.7)
+        with pytest.raises(ControlError):
+            dominant_pole(TransferFunction.gain(1.0))
+
+
+class TestStepMetrics:
+    def test_paper_design_nearly_monotone(self):
+        # The closed-loop zero at -b1/b0 = 0.775 induces a tiny (<2%)
+        # overshoot even though both poles are critically damped.
+        closed = (paper_controller() * paper_plant()).feedback()
+        m = step_metrics(step_response(closed, 40))
+        assert m.overshoot_pct < 2.0
+        assert m.steady_state_error < 1e-3
+        # at least ~63% of target after 3 periods, ~98% after 12 (Appendix A;
+        # the controller zero makes tracking slightly faster than pole decay)
+        y = step_response(closed, 15)
+        assert y[3] >= 0.63
+        assert y[12] >= 0.98
+
+    def test_overshoot_detected(self):
+        # underdamped poles 0.5 ± 0.5j -> visible overshoot, dc gain 1
+        tf = TransferFunction([0.5], [1.0, -1.0, 0.5])
+        y = step_response(tf, 80)
+        m = step_metrics(y)
+        assert m.overshoot > 0.0
+        assert m.oscillatory
+
+    def test_empty_response_rejected(self):
+        with pytest.raises(ControlError):
+            step_metrics([])
+
+    def test_settling_index(self):
+        m = step_metrics([0.0, 0.5, 0.9, 1.0, 1.0, 1.0], reference=1.0)
+        assert m.settling_index == 3
+
+
+class TestLoopShaping:
+    def test_sensitivity_complements_tracking(self):
+        """S + T = 1 at every frequency."""
+        s = sensitivity(paper_plant(), paper_controller())
+        t = complementary_sensitivity(paper_plant(), paper_controller())
+        for omega in (0.1, 0.5, 1.0, 2.0, 3.0):
+            total = s.frequency_response(omega) + t.frequency_response(omega)
+            assert total.real == pytest.approx(1.0, abs=1e-6)
+            assert total.imag == pytest.approx(0.0, abs=1e-6)
+
+    def test_integrator_rejects_dc_disturbances(self):
+        """The plant integrator drives S(1) to zero: constant disturbances vanish."""
+        assert disturbance_rejection_gain(paper_plant(), paper_controller(), 0.0) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_closed_loop_poles_match_feedback(self):
+        poles = closed_loop_poles(paper_plant(), paper_controller())
+        assert sorted(p.real for p in poles) == pytest.approx([0.7, 0.7], abs=1e-3)
+
+
+@given(st.floats(min_value=0.01, max_value=0.99))
+def test_real_pole_damping_always_one(r):
+    assert pole_damping(complex(r, 0.0)) == pytest.approx(1.0)
+
+
+@given(st.floats(min_value=0.1, max_value=0.99),
+       st.floats(min_value=0.05, max_value=1.5))
+def test_damping_invariant_under_radial_angle_scaling(r, theta):
+    """Damping depends only on the ratio ln(r)/theta, not on T.
+
+    theta is kept below pi/2 so the doubled angle does not wrap past pi
+    (aliasing, where the s-plane equivalence genuinely breaks).
+    """
+    z1 = complex(r * math.cos(theta), r * math.sin(theta))
+    # squaring z corresponds to doubling the sampling period
+    z2 = z1 * z1
+    assert pole_damping(z1) == pytest.approx(pole_damping(z2), abs=1e-9)

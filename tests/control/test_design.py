@@ -1,0 +1,112 @@
+"""Unit tests for generic Diophantine pole placement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control import (
+    Polynomial,
+    TransferFunction,
+    desired_characteristic,
+    is_stable,
+    place_poles,
+    solve_diophantine,
+    step_metrics,
+    step_response,
+    verify_unity_gain,
+)
+from repro.errors import ControlError, UnstableDesignError
+
+
+class TestDesiredCharacteristic:
+    def test_paper_clce(self):
+        p = desired_characteristic([0.7, 0.7])
+        assert p.almost_equal(Polynomial([1.0, -1.4, 0.49]))
+
+    def test_rejects_unstable_request(self):
+        with pytest.raises(UnstableDesignError):
+            desired_characteristic([1.1])
+        with pytest.raises(UnstableDesignError):
+            desired_characteristic([1.0])
+
+
+class TestSolveDiophantine:
+    def test_reconstruction_identity(self):
+        a = Polynomial([1.0, -1.0])           # z - 1 (integrator)
+        b = Polynomial([0.00542])             # cT/H
+        target = Polynomial([1.0, -1.4, 0.49])
+        d, n = solve_diophantine(a, b, target)
+        assert (d * a + n * b).almost_equal(target, tol=1e-8)
+
+    def test_monic_controller_denominator(self):
+        a = Polynomial([1.0, -1.0])
+        b = Polynomial([1.0])
+        d, n = solve_diophantine(a, b, Polynomial([1.0, -1.4, 0.49]))
+        assert d.coeffs[0] == pytest.approx(1.0)
+
+    def test_target_below_plant_degree_rejected(self):
+        with pytest.raises(ControlError):
+            solve_diophantine(Polynomial([1.0, 0.0, 0.0]), Polynomial([1.0]),
+                              Polynomial([1.0, -0.5]))
+
+    def test_non_coprime_plant_rejected(self):
+        # a and b share the root z=1 -> cannot move that pole
+        a = Polynomial([1.0, -1.0])
+        b = Polynomial([1.0, -1.0])
+        with pytest.raises(ControlError):
+            solve_diophantine(a, b, Polynomial([1.0, -1.4, 0.49]),
+                              controller_den_degree=0)
+
+
+class TestPlacePoles:
+    def test_integrator_plant_places_exactly(self):
+        g = TransferFunction.integrator(0.00542)
+        res = place_poles(g, [0.7, 0.7])
+        achieved = sorted(p.real for p in res.achieved_poles)
+        assert achieved == pytest.approx([0.7, 0.7], abs=1e-6)
+        assert res.residual < 1e-8
+        assert is_stable(res.closed_loop)
+
+    def test_integrator_design_has_unity_gain_automatically(self):
+        g = TransferFunction.integrator(0.00542)
+        res = place_poles(g, [0.7, 0.7])
+        assert verify_unity_gain(g, res.controller)
+
+    def test_second_order_plant(self):
+        g = TransferFunction([1.0], [1.0, -1.5, 0.56])  # poles 0.7, 0.8
+        res = place_poles(g, [0.3, 0.3, 0.2, 0.2])
+        achieved = sorted(p.real for p in res.achieved_poles)
+        assert achieved == pytest.approx([0.2, 0.2, 0.3, 0.3], abs=1e-6)
+
+    def test_deadbeat_design(self):
+        g = TransferFunction.integrator(1.0)
+        res = place_poles(g, [0.0, 0.0])
+        y = step_response(res.closed_loop, 10)
+        # deadbeat: settles in a finite number of samples
+        assert y[4] == pytest.approx(y[-1], abs=1e-9)
+
+    def test_faster_poles_converge_faster(self):
+        g = TransferFunction.integrator(0.01)
+        slow = place_poles(g, [0.9, 0.9]).closed_loop
+        fast = place_poles(g, [0.4, 0.4]).closed_loop
+        ms = step_metrics(step_response(slow, 120))
+        mf = step_metrics(step_response(fast, 120))
+        assert mf.settling_index < ms.settling_index
+
+    def test_non_monic_plant_denominator_handled(self):
+        g = TransferFunction([0.00526], [0.97, -0.97])  # cT/(H(z-1)) unnormalized
+        res = place_poles(g, [0.7, 0.7])
+        achieved = sorted(p.real for p in res.achieved_poles)
+        assert achieved == pytest.approx([0.7, 0.7], abs=1e-6)
+
+
+@given(st.floats(min_value=0.05, max_value=0.9),
+       st.floats(min_value=0.05, max_value=0.9),
+       st.floats(min_value=1e-4, max_value=10.0))
+def test_placement_always_hits_requested_poles(p1, p2, gain):
+    """For any stable real pole pair and plant gain, placement succeeds."""
+    g = TransferFunction.integrator(gain)
+    res = place_poles(g, [p1, p2])
+    achieved = sorted(p.real for p in res.achieved_poles)
+    assert achieved == pytest.approx(sorted([p1, p2]), abs=1e-4)
+    assert is_stable(res.closed_loop)

@@ -1,0 +1,104 @@
+"""Unit tests for test-signal builders."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control import signals
+from repro.control.signals import (
+    constant,
+    piecewise,
+    ramp,
+    sinusoid,
+    square_wave,
+    step,
+)
+from repro.errors import ControlError
+
+
+class TestStep:
+    def test_shape(self):
+        s = step(10, 4, low=1.0, high=5.0)
+        assert s[:4] == [1.0] * 4
+        assert s[4:] == [5.0] * 6
+
+    def test_step_at_bounds(self):
+        assert step(3, 0, high=2.0) == [2.0, 2.0, 2.0]
+        assert step(3, 3, low=1.0) == [1.0, 1.0, 1.0]
+
+    def test_invalid_step_position(self):
+        with pytest.raises(ControlError):
+            step(5, 6)
+
+
+class TestSinusoid:
+    def test_range_respected(self):
+        s = sinusoid(1000, period_samples=50, low=0.0, high=400.0)
+        assert min(s) >= -1e-9
+        assert max(s) <= 400.0 + 1e-9
+
+    def test_starts_at_minimum_by_default(self):
+        s = sinusoid(10, period_samples=40, low=0.0, high=400.0)
+        assert s[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_periodicity(self):
+        s = sinusoid(80, period_samples=20, low=-1.0, high=1.0)
+        for k in range(60):
+            assert s[k] == pytest.approx(s[k + 20], abs=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ControlError):
+            sinusoid(10, period_samples=0, low=0, high=1)
+        with pytest.raises(ControlError):
+            sinusoid(10, period_samples=5, low=1, high=0)
+
+
+class TestOthers:
+    def test_constant(self):
+        assert constant(2.5, 3) == [2.5, 2.5, 2.5]
+
+    def test_ramp_slope(self):
+        r = ramp(5, start=10.0, slope=2.0)
+        assert r == [10.0, 12.0, 14.0, 16.0, 18.0]
+
+    def test_square_wave_duty_cycle(self):
+        s = square_wave(100, period_samples=10, low=0.0, high=1.0)
+        assert sum(s) == pytest.approx(50.0)
+
+    def test_square_wave_period_validation(self):
+        with pytest.raises(ControlError):
+            square_wave(10, period_samples=1, low=0, high=1)
+
+    def test_piecewise_fig18_schedule(self):
+        yd = piecewise([(150, 1.0), (150, 3.0), (100, 5.0)])
+        assert len(yd) == 400
+        assert yd[0] == 1.0 and yd[149] == 1.0
+        assert yd[150] == 3.0 and yd[299] == 3.0
+        assert yd[300] == 5.0 and yd[-1] == 5.0
+
+    def test_piecewise_empty_rejected(self):
+        with pytest.raises(ControlError):
+            piecewise([])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ControlError):
+            constant(1.0, -1)
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=200))
+def test_step_length_invariant(n, at):
+    if at > n:
+        return
+    assert len(step(n, at)) == n
+
+
+@given(st.integers(min_value=2, max_value=500),
+       st.floats(min_value=-100, max_value=100),
+       st.floats(min_value=0, max_value=100))
+def test_sinusoid_mean_near_midpoint(n, low, spread):
+    high = low + spread
+    period = n  # one full period
+    s = sinusoid(n, period_samples=period, low=low, high=high)
+    mid = (low + high) / 2
+    assert sum(s) / n == pytest.approx(mid, abs=max(1.0, spread) * 0.05 + 1e-6)

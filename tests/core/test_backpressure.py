@@ -1,0 +1,105 @@
+"""Tests for the backpressure comparator and delay percentiles."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BackpressureController,
+    ControlLoop,
+    DsmsModel,
+    EntryActuator,
+    EwmaEstimator,
+    Monitor,
+    PolePlacementController,
+)
+from repro.core.monitor import Measurement
+from repro.dsms import Departure, Engine, identification_network
+from repro.errors import ControlError
+from repro.metrics import delay_percentiles
+from repro.workloads import arrivals_from_trace, constant_rate
+
+
+def model():
+    return DsmsModel(cost=1 / 190, headroom=0.97, period=1.0)
+
+
+def measurement(q, cost=1 / 190, fout=184.0):
+    m = model()
+    return Measurement(
+        k=0, time=0.0, queue_length=q, cost=cost, measured_cost=cost,
+        inflow_rate=300.0, outflow_rate=fout,
+        delay_estimate=m.delay_estimate(q, cost),
+        admitted=300, departed=int(fout), shed=0, departures=[],
+    )
+
+
+class TestBackpressureController:
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            BackpressureController(model(), max_queue=0)
+
+    def test_regulates_toward_buffer_bound(self):
+        ctrl = BackpressureController(model(), max_queue=400)
+        below = ctrl.decide(measurement(q=100), 2.0)
+        above = ctrl.decide(measurement(q=700), 2.0)
+        assert below.u > 0 > above.u
+
+    def test_ignores_delay_target(self):
+        ctrl = BackpressureController(model(), max_queue=400)
+        assert ctrl.decide(measurement(q=100), 1.0).v == \
+            ctrl.decide(measurement(q=100), 5.0).v
+
+    def test_delay_scales_with_cost_unlike_ctrl(self):
+        """The headline difference: backpressure holds the queue, so when
+        the per-tuple cost doubles its latency doubles; CTRL holds the
+        delay by letting its queue target shrink."""
+        def run(controller_cls, multiplier, **kw):
+            eng = Engine(identification_network(), headroom=0.97,
+                         cost_multiplier=lambda t: multiplier,
+                         rng=random.Random(0))
+            mdl = model()
+            mon = Monitor(eng, mdl, cost_estimator=EwmaEstimator(1 / 190, 0.3))
+            loop = ControlLoop(eng, controller_cls(mdl, **kw), mon,
+                               EntryActuator(), target=2.0)
+            trace = constant_rate(370.0 / multiplier, 60)
+            rec = loop.run(arrivals_from_trace(trace, seed=1), 60.0)
+            y = rec.true_delays()[30:55]
+            return sum(y) / len(y)
+
+        bp_1x = run(BackpressureController, 1.0, max_queue=368)
+        bp_2x = run(BackpressureController, 2.0, max_queue=368)
+        ctrl_1x = run(PolePlacementController, 1.0)
+        ctrl_2x = run(PolePlacementController, 2.0)
+        # backpressure latency roughly doubles with the cost
+        assert bp_2x / bp_1x > 1.6
+        # CTRL holds its target through the cost change
+        assert abs(ctrl_2x - ctrl_1x) < 0.5
+        assert ctrl_2x == pytest.approx(2.0, abs=0.5)
+
+
+class TestDelayPercentiles:
+    def deps(self, delays, shed=()):
+        out = [Departure(0.0, d, False) for d in delays]
+        out += [Departure(0.0, d, True) for d in shed]
+        return out
+
+    def test_basic_quantiles(self):
+        deps = self.deps([float(i) for i in range(1, 101)])
+        p = delay_percentiles(deps, quantiles=(0.5, 0.95, 0.99))
+        assert p[0.5] == pytest.approx(51.0)
+        assert p[0.95] == pytest.approx(96.0)
+        assert p[0.99] == pytest.approx(100.0)
+
+    def test_shed_excluded(self):
+        deps = self.deps([1.0, 2.0], shed=[100.0])
+        p = delay_percentiles(deps, quantiles=(0.99,))
+        assert p[0.99] == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert delay_percentiles([], quantiles=(0.5,)) == {0.5: 0.0}
+
+    def test_quantile_validation(self):
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            delay_percentiles([], quantiles=(1.5,))

@@ -1,0 +1,120 @@
+"""Unit tests for the Appendix-A controller synthesis."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control import is_stable, step_metrics, step_response
+from repro.core import (
+    ControllerGains,
+    DsmsModel,
+    design_gains,
+    paper_gains,
+    poles_from_specs,
+)
+from repro.errors import ControlError, UnstableDesignError
+
+
+def paper_model(cost=1 / 190, period=1.0):
+    return DsmsModel(cost=cost, headroom=0.97, period=period)
+
+
+class TestPaperConstants:
+    def test_design_recovers_published_gains(self):
+        """poles 0.7/0.7 + controller pole 0.8 -> b0=0.4, b1=-0.31, a=-0.8."""
+        g = design_gains(poles=(0.7, 0.7), controller_pole=0.8)
+        assert g.b0 == pytest.approx(0.4)
+        assert g.b1 == pytest.approx(-0.31)
+        assert g.a == pytest.approx(-0.8)
+
+    def test_published_gains_give_published_poles(self):
+        p1, p2 = paper_gains().closed_loop_poles()
+        assert sorted((p1.real, p2.real)) == pytest.approx([0.7, 0.7], abs=1e-6)
+        # np.roots splits an exact double root by ~1e-8
+        assert p1.imag == pytest.approx(0.0, abs=1e-6)
+
+    def test_closed_loop_static_gain_unity(self):
+        """Eq. 19: y tracks yd exactly in steady state."""
+        closed = paper_gains().closed_loop(paper_model())
+        assert closed.dc_gain() == pytest.approx(1.0, abs=1e-9)
+
+    def test_closed_loop_stable_for_any_cost(self):
+        """Pole locations are independent of c, T, H (the H/cT normalization)."""
+        for cost in (0.001, 1 / 190, 0.05):
+            for period in (0.1, 1.0, 4.0):
+                closed = paper_gains().closed_loop(paper_model(cost, period))
+                assert is_stable(closed)
+                poles = sorted(abs(p) for p in closed.poles())
+                assert poles == pytest.approx([0.7, 0.7], abs=1e-6)
+
+
+class TestDesignValidation:
+    def test_unstable_pole_request_rejected(self):
+        with pytest.raises(UnstableDesignError):
+            design_gains(poles=(1.1, 0.5))
+
+    def test_unstable_controller_pole_rejected(self):
+        with pytest.raises(UnstableDesignError):
+            design_gains(controller_pole=1.0)
+
+    def test_non_conjugate_complex_rejected(self):
+        with pytest.raises(ControlError):
+            design_gains(poles=(0.5 + 0.2j, 0.5 + 0.2j))
+
+    def test_conjugate_pair_accepted(self):
+        g = design_gains(poles=(0.6 + 0.2j, 0.6 - 0.2j))
+        p1, p2 = g.closed_loop_poles()
+        assert sorted((p1.imag, p2.imag)) == pytest.approx([-0.2, 0.2], abs=1e-6)
+
+
+class TestSpecs:
+    def test_three_period_convergence_radius(self):
+        p1, p2 = poles_from_specs(convergence_periods=3.0, damping=1.0)
+        assert p1 == p2
+        assert p1.real == pytest.approx(math.exp(-1 / 3), abs=1e-9)
+        assert p1.imag == 0.0
+
+    def test_underdamped_specs_give_conjugates(self):
+        p1, p2 = poles_from_specs(convergence_periods=3.0, damping=0.7)
+        assert p1.imag == pytest.approx(-p2.imag)
+        assert p1.imag != 0.0
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            poles_from_specs(convergence_periods=0.0)
+        with pytest.raises(ControlError):
+            poles_from_specs(damping=0.0)
+        with pytest.raises(ControlError):
+            poles_from_specs(damping=1.5)
+
+    def test_aliasing_guard(self):
+        with pytest.raises(ControlError):
+            poles_from_specs(convergence_periods=0.1, damping=0.05)
+
+
+class TestClosedLoopBehaviour:
+    def test_faster_poles_settle_faster(self):
+        slow = design_gains(poles=(0.9, 0.9), controller_pole=0.8)
+        fast = design_gains(poles=(0.4, 0.4), controller_pole=0.8)
+        model = paper_model()
+        ms = step_metrics(step_response(slow.closed_loop(model), 100))
+        mf = step_metrics(step_response(fast.closed_loop(model), 100))
+        assert mf.settling_index < ms.settling_index
+
+    def test_free_parameter_does_not_move_poles(self):
+        """The paper: any solution of Eqs. 18/19 performs the same."""
+        for cp in (0.0, 0.3, 0.8, -0.5):
+            g = design_gains(poles=(0.7, 0.7), controller_pole=cp)
+            p1, p2 = g.closed_loop_poles()
+            assert sorted((p1.real, p2.real)) == pytest.approx([0.7, 0.7], abs=1e-6)
+
+
+@given(p=st.floats(min_value=0.05, max_value=0.95),
+       cp=st.floats(min_value=-0.9, max_value=0.9))
+def test_design_always_matches_clce(p, cp):
+    g = design_gains(poles=(p, p), controller_pole=cp)
+    r1, r2 = g.closed_loop_poles()
+    assert sorted((r1.real, r2.real)) == pytest.approx([p, p], abs=1e-6)
+    # static-gain identity (Eq. 19) holds across the whole family
+    assert g.b0 + g.b1 == pytest.approx((1 - p) ** 2, abs=1e-9)

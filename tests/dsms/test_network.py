@@ -1,0 +1,157 @@
+"""Unit tests for query-network structure and static cost analysis."""
+
+import pytest
+
+from repro.dsms import (
+    FilterOperator,
+    MapOperator,
+    QueryNetwork,
+    Sink,
+    UnionOperator,
+    WindowJoinOperator,
+    identification_network,
+)
+from repro.errors import NetworkError
+
+
+def simple_chain():
+    net = QueryNetwork("chain")
+    net.add_source("s")
+    net.add_operator(MapOperator("a", 0.001), ["s"])
+    net.add_operator(MapOperator("b", 0.002), ["a"])
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_source_rejected(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        with pytest.raises(NetworkError):
+            net.add_source("s")
+
+    def test_duplicate_operator_rejected(self):
+        net = simple_chain()
+        with pytest.raises(NetworkError):
+            net.add_operator(MapOperator("a", 0.001), ["s"])
+
+    def test_operator_source_name_collision(self):
+        net = QueryNetwork()
+        net.add_source("x")
+        with pytest.raises(NetworkError):
+            net.add_operator(MapOperator("x", 0.0), ["x"])
+        net.add_operator(MapOperator("y", 0.0), ["x"])
+        with pytest.raises(NetworkError):
+            net.add_source("y")
+
+    def test_unknown_input_rejected(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        with pytest.raises(NetworkError):
+            net.add_operator(MapOperator("a", 0.0), ["nope"])
+
+    def test_arity_enforced(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        join = WindowJoinOperator("j", 0.0, 1.0, key=lambda v: v[0])
+        with pytest.raises(NetworkError):
+            net.add_operator(join, ["s"])  # join needs two inputs
+
+    def test_union_accepts_many_inputs(self):
+        net = QueryNetwork()
+        net.add_source("s1")
+        net.add_source("s2")
+        net.add_source("s3")
+        net.add_operator(UnionOperator("u", 0.0), ["s1", "s2", "s3"])
+        assert len(net.sources["s2"]) == 1
+
+    def test_self_loop_rejected(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        op = MapOperator("a", 0.0)
+        with pytest.raises(NetworkError):
+            net.add_operator(op, ["a"])
+
+    def test_no_inputs_rejected(self):
+        net = QueryNetwork()
+        u = UnionOperator("u", 0.0)
+        with pytest.raises(NetworkError):
+            net.add_operator(u, [])
+
+
+class TestStructure:
+    def test_topological_order_respects_edges(self):
+        net = identification_network()
+        order = net.topological_order()
+        pos = {name: i for i, name in enumerate(order)}
+        for up, edges in net.downstream.items():
+            for down, __ in edges:
+                assert pos[up] < pos[down]
+
+    def test_entry_points(self):
+        net = simple_chain()
+        assert net.entry_points() == [("s", "a", 0)]
+
+    def test_outputs(self):
+        net = simple_chain()
+        assert net.outputs() == ["b"]
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(NetworkError):
+            QueryNetwork().validate()
+
+    def test_validate_accepts_identification_network(self):
+        identification_network().validate()
+
+    def test_contains_and_len(self):
+        net = simple_chain()
+        assert "a" in net
+        assert "zzz" not in net
+        assert len(net) == 2
+
+
+class TestCostAnalysis:
+    def test_chain_expected_cost_is_sum(self):
+        net = simple_chain()
+        assert net.expected_cost() == pytest.approx(0.003)
+
+    def test_filter_scales_downstream_visits(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        net.add_operator(FilterOperator.threshold("f", 0.001, 0.5), ["s"])
+        net.add_operator(MapOperator("m", 0.002), ["f"])
+        cost = net.expected_cost({"f": 0.5})
+        assert cost == pytest.approx(0.001 + 0.5 * 0.002)
+
+    def test_split_doubles_visits(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        net.add_operator(MapOperator("root", 0.001), ["s"])
+        net.add_operator(MapOperator("left", 0.001), ["root"])
+        net.add_operator(MapOperator("right", 0.001), ["root"])
+        visits = net.expected_visits({})
+        assert visits["left"] == pytest.approx(1.0)
+        assert visits["right"] == pytest.approx(1.0)
+        assert net.expected_cost({}) == pytest.approx(0.003)
+
+    def test_identification_network_hits_target_capacity(self):
+        net = identification_network(capacity=190.0)
+        sels = {"f1": 0.9, "f3": 0.8, "f6": 0.7, "f11": 0.85}
+        assert net.expected_cost(sels) == pytest.approx(1.0 / 190.0, rel=1e-9)
+
+    def test_load_coefficients_decrease_downstream(self):
+        """Dropping earlier saves at least as much load as dropping later."""
+        net = identification_network()
+        sels = {"f1": 0.9, "f3": 0.8, "f6": 0.7, "f11": 0.85}
+        coeffs = net.load_coefficients(sels)
+        # along the unbranched tail m12 -> m13 -> m14
+        assert coeffs["m12"] >= coeffs["m13"] >= coeffs["m14"]
+        # the entry point carries the full expected cost
+        assert coeffs["f1"] == pytest.approx(net.expected_cost(sels))
+
+    def test_multi_entry_source_counts_twice(self):
+        net = QueryNetwork()
+        net.add_source("s")
+        net.add_operator(MapOperator("a", 0.001), ["s"])
+        net.add_operator(MapOperator("b", 0.002), ["s"])
+        # one source tuple enters both a and b
+        assert net.expected_cost({}) == pytest.approx(0.003)

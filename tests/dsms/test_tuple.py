@@ -1,0 +1,62 @@
+"""Unit tests for tuple lineage accounting."""
+
+import pytest
+
+from repro.dsms import Lineage, StreamTuple, make_source_tuple
+
+
+class TestLineage:
+    def test_single_reference_departure(self):
+        events = []
+        lin = Lineage(1.0, on_departed=lambda l, t: events.append((l, t)))
+        assert lin.release(3.5)
+        assert lin.departed_at == 3.5
+        assert lin.delay == pytest.approx(2.5)
+        assert events == [(lin, 3.5)]
+
+    def test_fork_defers_departure(self):
+        lin = Lineage(0.0)
+        lin.fork(2)
+        assert not lin.release(1.0)
+        assert not lin.release(2.0)
+        assert lin.delay is None
+        assert lin.release(3.0)
+        assert lin.delay == pytest.approx(3.0)
+
+    def test_over_release_raises(self):
+        lin = Lineage(0.0)
+        lin.release(1.0)
+        with pytest.raises(RuntimeError):
+            lin.release(2.0)
+
+    def test_negative_fork_rejected(self):
+        with pytest.raises(ValueError):
+            Lineage(0.0).fork(-1)
+
+    def test_shed_flag_defaults_false(self):
+        assert not Lineage(0.0).shed
+
+
+class TestStreamTuple:
+    def test_source_tuple_carries_arrival(self):
+        t = make_source_tuple((1, 2), arrived=5.0, source="s")
+        assert t.arrived == 5.0
+        assert t.source == "s"
+        assert t.values == (1, 2)
+
+    def test_derive_shares_lineage(self):
+        t = make_source_tuple((1,), arrived=0.0)
+        d = t.derive((2,))
+        assert d.lineage is t.lineage
+        assert d.values == (2,)
+        # deriving does not change the reference count
+        assert t.lineage.refcount == 1
+
+    def test_departure_callback_fires_once(self):
+        calls = []
+        t = make_source_tuple((), 0.0, on_departed=lambda l, now: calls.append(now))
+        t.lineage.fork(1)
+        d = t.derive(())
+        t.lineage.release(1.0)
+        d.lineage.release(2.0)
+        assert calls == [2.0]

@@ -1,0 +1,85 @@
+"""Tests for the system-identification experiments (Figs. 5-7)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentConfig, model_verification, step_response
+from repro.experiments.sysid import open_loop_run
+from repro.workloads import sinusoid_rate, step_rate
+
+CFG = ExperimentConfig()
+
+
+@pytest.fixture(scope="module")
+def steps():
+    return step_response(rates=(150.0, 200.0, 300.0), config=CFG,
+                         duration=40.0, step_at=10.0)
+
+
+class TestStepResponse:
+    def test_below_capacity_not_saturated(self, steps):
+        assert not steps[150.0].saturated
+        assert max(steps[150.0].delays) < 0.5
+
+    def test_above_capacity_saturated(self, steps):
+        assert steps[200.0].saturated
+        assert steps[300.0].saturated
+
+    def test_delay_growth_rate_scales_with_excess(self, steps):
+        """Δy converges to a constant proportional to fin - H/c (Fig. 5C)."""
+        d200 = steps[200.0].delay_increments[-8:]
+        d300 = steps[300.0].delay_increments[-8:]
+        mean200 = sum(d200) / len(d200)
+        mean300 = sum(d300) / len(d300)
+        excess200 = 200 - 190 * 0.97
+        excess300 = 300 - 190 * 0.97
+        assert mean300 / mean200 == pytest.approx(excess300 / excess200,
+                                                  rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            step_response(config=CFG, duration=10.0, step_at=20.0)
+
+
+class TestModelVerification:
+    def test_step_fit_recovers_configured_headroom(self):
+        trace = step_rate(60, 10, low=10.0, high=300.0)
+        result = model_verification(trace, CFG)
+        assert result.best_headroom() == pytest.approx(0.97)
+
+    def test_sine_fit_recovers_configured_headroom(self):
+        trace = sinusoid_rate(120, 50, low=0.0, high=400.0)
+        result = model_verification(trace, CFG)
+        assert result.best_headroom() == pytest.approx(0.97)
+
+    def test_wrong_headroom_has_larger_error(self):
+        trace = step_rate(60, 10, low=10.0, high=300.0)
+        result = model_verification(trace, CFG)
+        assert result.fits[0.97].rms_error < result.fits[1.00].rms_error
+
+    def test_measured_cost_near_nominal(self):
+        trace = step_rate(50, 10, low=10.0, high=250.0)
+        result = model_verification(trace, CFG)
+        assert result.measured_cost == pytest.approx(1 / 190, rel=0.1)
+
+    def test_prediction_tracks_measurement(self):
+        """Eq. 2 must explain the measured delays within a small RMS."""
+        trace = step_rate(60, 10, low=10.0, high=300.0)
+        result = model_verification(trace, CFG)
+        fit = result.fits[0.97]
+        peak = max(result.measured)
+        assert fit.rms_error < 0.1 * peak
+
+
+class TestOpenLoopRun:
+    def test_series_lengths_match_trace(self):
+        trace = step_rate(30, 5, low=50.0, high=100.0)
+        run = open_loop_run(trace, CFG)
+        assert len(run.rates) == 30
+        assert len(run.queue_at_boundary) == 30
+        assert len(run.delays) == 30
+
+    def test_underload_queue_stays_empty(self):
+        trace = step_rate(20, 5, low=50.0, high=100.0)
+        run = open_loop_run(trace, CFG)
+        assert max(run.queue_at_boundary) < 20

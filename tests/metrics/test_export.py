@@ -1,0 +1,80 @@
+"""Unit tests for run-record export."""
+
+import csv
+
+import pytest
+
+from repro.dsms import Departure
+from repro.errors import ExperimentError
+from repro.metrics import PeriodRecord, RunRecord
+from repro.metrics.export import (
+    PERIOD_FIELDS,
+    departures_to_csv,
+    load_json,
+    periods_to_csv,
+    record_to_json,
+)
+
+
+def sample_record():
+    rec = RunRecord(period=1.0)
+    for k in range(3):
+        rec.add(
+            PeriodRecord(
+                k=k, time=float(k + 1), target=2.0, delay_estimate=1.5 + k,
+                queue_length=100 * k, cost=0.005, inflow_rate=200.0,
+                outflow_rate=180.0, offered=200, admitted=180, shed_retro=0,
+                v=180.0, u=0.0, error=0.5 - k, alpha=0.1,
+            ),
+            [Departure(float(k), float(k) + 1.2, False)],
+        )
+    rec.departures.append(Departure(2.5, 3.0, True))
+    rec.offered_total = 600
+    rec.duration = 3.0
+    return rec
+
+
+class TestCsvExport:
+    def test_periods_roundtrip(self, tmp_path):
+        rec = sample_record()
+        path = periods_to_csv(rec, tmp_path / "periods.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(PERIOD_FIELDS)
+        assert len(rows) == 4
+        assert rows[1][0] == "0"
+        assert float(rows[3][3]) == pytest.approx(3.5)  # delay_estimate k=2
+
+    def test_departures_roundtrip(self, tmp_path):
+        rec = sample_record()
+        path = departures_to_csv(rec, tmp_path / "deps.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["arrived", "departed", "delay", "shed"]
+        assert len(rows) == 5
+        assert rows[-1][3] == "1"  # the shed tuple
+
+
+class TestJsonExport:
+    def test_summary_fields(self, tmp_path):
+        rec = sample_record()
+        path = record_to_json(rec, tmp_path / "run.json")
+        doc = load_json(path)
+        assert doc["offered_total"] == 600
+        # the departure at t = 3.2 falls outside the 3 s window
+        assert doc["qos"]["delivered"] == 2
+        assert doc["qos"]["shed"] == 1
+        assert len(doc["periods"]) == 3
+        assert len(doc["true_delays"]) >= 3
+        assert "departures" not in doc
+
+    def test_departures_opt_in(self, tmp_path):
+        rec = sample_record()
+        path = record_to_json(rec, tmp_path / "run.json",
+                              include_departures=True)
+        doc = load_json(path)
+        assert len(doc["departures"]) == 4
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_json(tmp_path / "nope.json")

@@ -1,0 +1,114 @@
+"""Unit tests for QoS metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsms import Departure
+from repro.errors import ExperimentError
+from repro.metrics import (
+    QosMetrics,
+    compute_qos,
+    delays_by_arrival_period,
+    relative_metrics,
+)
+
+
+def dep(arrived, delay, shed=False):
+    return Departure(arrived=arrived, departed=arrived + delay, shed=shed)
+
+
+class TestComputeQos:
+    def test_counts_violations(self):
+        deps = [dep(0.0, 1.0), dep(1.0, 3.0), dep(2.0, 2.5)]
+        q = compute_qos(deps, target=2.0, offered=3)
+        assert q.delayed_tuples == 2
+        assert q.accumulated_violation == pytest.approx(1.0 + 0.5)
+        assert q.max_overshoot == pytest.approx(1.0)
+        assert q.delivered == 3
+
+    def test_shed_tuples_excluded_from_delay(self):
+        deps = [dep(0.0, 10.0, shed=True), dep(0.0, 1.0)]
+        q = compute_qos(deps, target=2.0, offered=2)
+        assert q.delayed_tuples == 0
+        assert q.shed == 1
+        assert q.loss_ratio == 0.5
+
+    def test_mean_delay_over_delivered_only(self):
+        deps = [dep(0.0, 1.0), dep(0.0, 3.0), dep(0.0, 99.0, shed=True)]
+        q = compute_qos(deps, target=10.0, offered=3)
+        assert q.mean_delay == pytest.approx(2.0)
+
+    def test_time_varying_target(self):
+        """A tuple is judged against the target when it *arrived* (Fig. 18)."""
+        schedule = lambda t: 1.0 if t < 10 else 5.0
+        deps = [dep(5.0, 2.0), dep(15.0, 2.0)]
+        q = compute_qos(deps, target=schedule, offered=2)
+        assert q.delayed_tuples == 1  # only the first violates its 1 s target
+
+    def test_empty_run(self):
+        q = compute_qos([], target=2.0, offered=0)
+        assert q.delivered == 0
+        assert q.loss_ratio == 0.0
+        assert q.violation_ratio == 0.0
+        assert q.mean_delay == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            compute_qos([], target=-1.0, offered=0)
+        with pytest.raises(ExperimentError):
+            compute_qos([], target=2.0, offered=-1)
+
+    def test_violation_ratio(self):
+        deps = [dep(0.0, 3.0), dep(0.0, 1.0), dep(0.0, 1.0), dep(0.0, 1.0)]
+        q = compute_qos(deps, target=2.0, offered=4)
+        assert q.violation_ratio == 0.25
+
+
+class TestRelativeMetrics:
+    def test_ratios(self):
+        a = compute_qos([dep(0.0, 4.0)], 2.0, 1)
+        b = compute_qos([dep(0.0, 3.0)], 2.0, 1)
+        rel = relative_metrics(a, b)
+        assert rel["accumulated_violation"] == pytest.approx(2.0)
+        assert rel["max_overshoot"] == pytest.approx(2.0)
+
+    def test_zero_reference_gives_inf_or_one(self):
+        zero = compute_qos([], 2.0, 0)
+        some = compute_qos([dep(0.0, 4.0)], 2.0, 1)
+        rel = relative_metrics(some, zero)
+        assert rel["accumulated_violation"] == float("inf")
+        rel2 = relative_metrics(zero, zero)
+        assert rel2["accumulated_violation"] == 1.0
+
+
+class TestDelaysByArrivalPeriod:
+    def test_grouping(self):
+        deps = [dep(0.1, 1.0), dep(0.9, 3.0), dep(2.5, 5.0)]
+        y = delays_by_arrival_period(deps, period=1.0)
+        assert y[0] == pytest.approx(2.0)  # mean of 1.0 and 3.0
+        assert y[1] == 0.0                 # no arrivals in period 1
+        assert y[2] == pytest.approx(5.0)
+
+    def test_shed_excluded(self):
+        deps = [dep(0.1, 1.0), dep(0.2, 9.0, shed=True)]
+        y = delays_by_arrival_period(deps, period=1.0)
+        assert y[0] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert delays_by_arrival_period([], period=1.0) == []
+
+    def test_period_validation(self):
+        with pytest.raises(ExperimentError):
+            delays_by_arrival_period([], period=0.0)
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=0, max_value=50)), min_size=0, max_size=50),
+    st.floats(min_value=0.1, max_value=10))
+def test_accumulated_violation_nonnegative_and_bounded(pairs, target):
+    deps = [dep(a, d) for a, d in pairs]
+    q = compute_qos(deps, target=target, offered=len(deps))
+    assert q.accumulated_violation >= 0
+    assert q.max_overshoot <= max((d for __, d in pairs), default=0.0)
+    assert q.delayed_tuples <= q.delivered

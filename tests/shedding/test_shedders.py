@@ -1,0 +1,224 @@
+"""Unit tests for load shedders and the LSRM."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsms import Engine, identification_network
+from repro.errors import SheddingError
+from repro.shedding import (
+    DropLocation,
+    EntryShedder,
+    LoadSheddingRoadmap,
+    LsrmShedder,
+    QueueShedder,
+    SheddingPlan,
+    drop_probability,
+    output_yield,
+    rank_locations,
+)
+
+
+def loaded_engine(rate=400, duration=4, seed=0):
+    """An engine with a substantial backlog in its queues."""
+    eng = Engine(identification_network(), headroom=0.97,
+                 rng=random.Random(seed))
+    rng = random.Random(seed)
+    for k in range(duration):
+        for i in range(rate):
+            eng.submit(k + i / rate, tuple(rng.random() for _ in range(4)),
+                       "src")
+    eng.run_until(float(duration))
+    return eng
+
+
+class TestDropProbability:
+    def test_eq13_basic(self):
+        # v = 150 allowed of 200 expected -> drop 25%
+        assert drop_probability(150.0, 200.0) == pytest.approx(0.25)
+
+    def test_saturation_low(self):
+        """Controller wants more than arrives: admit everything."""
+        assert drop_probability(300.0, 200.0) == 0.0
+
+    def test_saturation_high(self):
+        """Controller wants negative admissions: drop everything."""
+        assert drop_probability(-50.0, 200.0) == 1.0
+
+    def test_zero_inflow(self):
+        assert drop_probability(100.0, 0.0) == 0.0
+
+    def test_negative_inflow_rejected(self):
+        with pytest.raises(SheddingError):
+            drop_probability(100.0, -1.0)
+
+
+class TestEntryShedder:
+    def test_alpha_zero_admits_all(self):
+        s = EntryShedder(random.Random(0))
+        s.set_allowance(100.0, 100.0)
+        assert all(s.admit() for _ in range(100))
+        assert s.loss_ratio == 0.0
+
+    def test_alpha_one_drops_all(self):
+        s = EntryShedder(random.Random(0))
+        s.set_allowance(0.0, 100.0)
+        assert not any(s.admit() for _ in range(100))
+        assert s.loss_ratio == 1.0
+
+    def test_statistical_drop_rate(self):
+        s = EntryShedder(random.Random(42))
+        s.set_allowance(70.0, 100.0)  # alpha = 0.3
+        n = 10_000
+        admitted = sum(1 for _ in range(n) if s.admit())
+        assert admitted / n == pytest.approx(0.7, abs=0.02)
+
+    def test_counters(self):
+        s = EntryShedder(random.Random(1))
+        s.set_allowance(50.0, 100.0)
+        for _ in range(200):
+            s.admit()
+        assert s.offered_total == 200
+        assert s.dropped_total + sum(
+            0 for _ in ()) <= 200
+
+
+class TestQueueShedder:
+    def test_shed_tuples_exact(self):
+        eng = loaded_engine()
+        backlog = eng.queued_tuples
+        assert backlog > 200
+        s = QueueShedder(eng, random.Random(1))
+        got = s.shed_tuples(100)
+        assert got == 100
+        assert eng.queued_tuples == backlog - 100
+        assert s.dropped_total == 100
+
+    def test_shed_tuples_clamps_to_backlog(self):
+        eng = loaded_engine(rate=100, duration=1)
+        eng.run_until(30.0)  # drain completely
+        s = QueueShedder(eng, random.Random(1))
+        assert s.shed_tuples(50) == 0
+
+    def test_shed_load_accounts_coefficients(self):
+        eng = loaded_engine()
+        s = QueueShedder(eng, random.Random(2))
+        target = 0.5  # CPU seconds
+        saved = s.shed_load(target)
+        assert saved >= target or eng.queued_tuples == 0
+        # sanity: saved load should be close to target (one tuple overshoot)
+        assert saved <= target + 1.5 * max(
+            eng.network.load_coefficients().values())
+
+    def test_negative_targets_rejected(self):
+        eng = loaded_engine(rate=50, duration=1)
+        s = QueueShedder(eng, random.Random(0))
+        with pytest.raises(SheddingError):
+            s.shed_load(-1.0)
+        with pytest.raises(SheddingError):
+            s.shed_tuples(-1)
+
+    def test_zero_target_noop(self):
+        eng = loaded_engine(rate=50, duration=1)
+        s = QueueShedder(eng, random.Random(0))
+        assert s.shed_load(0.0) == 0.0
+
+
+class TestRoadmap:
+    def test_rank_by_loss_gain(self):
+        a = DropLocation("a", gain=2.0, loss=1.0)   # ratio 0.5
+        b = DropLocation("b", gain=1.0, loss=1.0)   # ratio 1.0
+        c = DropLocation("c", gain=4.0, loss=1.0)   # ratio 0.25
+        assert [l.operator for l in rank_locations([a, b, c])] == ["c", "a", "b"]
+
+    def test_zero_gain_ranked_last(self):
+        a = DropLocation("a", gain=0.0, loss=0.0)
+        b = DropLocation("b", gain=1.0, loss=10.0)
+        assert rank_locations([a, b])[-1].operator == "a"
+
+    def test_output_yield_exit_is_selectivity(self):
+        net = identification_network()
+        sels = {"f1": 0.9, "f3": 0.8, "f6": 0.7, "f11": 0.85}
+        y = output_yield(net, sels)
+        assert y["m14"] == pytest.approx(1.0)
+        # entering f1 eventually yields ~ 0.9*(0.8+0.7)*0.85 outputs
+        assert y["f1"] == pytest.approx(0.9 * (0.8 + 0.7) * 0.85)
+
+    def test_roadmap_covers_all_operators(self):
+        rm = LoadSheddingRoadmap(identification_network())
+        assert len(rm.locations) == 14
+
+    def test_plan_meets_load_target(self):
+        net = identification_network()
+        sels = {"f1": 0.9, "f3": 0.8, "f6": 0.7, "f11": 0.85}
+        rm = LoadSheddingRoadmap(net, sels)
+        depths = {name: 100 for name in net.operators}
+        plan = rm.plan_for_load(0.2, depths)
+        assert plan.load_saved >= 0.2
+        assert plan.total_drops > 0
+
+    def test_plan_respects_queue_depths(self):
+        net = identification_network()
+        rm = LoadSheddingRoadmap(net)
+        depths = {name: 2 for name in net.operators}
+        plan = rm.plan_for_load(100.0, depths)  # impossible target
+        assert plan.total_drops <= 2 * 14
+
+    def test_plan_negative_target_rejected(self):
+        rm = LoadSheddingRoadmap(identification_network())
+        with pytest.raises(SheddingError):
+            rm.plan_for_load(-1.0, {})
+
+    def test_plan_add_validation(self):
+        plan = SheddingPlan()
+        with pytest.raises(SheddingError):
+            plan.add(DropLocation("a", 1.0, 1.0), -1)
+        assert not plan
+
+
+class TestLsrmShedder:
+    def test_sheds_at_cheapest_locations_first(self):
+        """LSRM should prefer late (low-yield-loss... high-gain-ratio)
+        locations over expensive ones, losing fewer outputs than random."""
+        eng1 = loaded_engine(seed=3)
+        eng2 = loaded_engine(seed=3)
+        lsrm = LsrmShedder(eng1, random.Random(0))
+        rand = QueueShedder(eng2, random.Random(0))
+        lsrm.shed_load(0.5)
+        rand.shed_load(0.5)
+        # both meet the load target; LSRM must not drop more tuples' worth
+        # of *results* than random for the same load (here: proxied by the
+        # roadmap ordering actually being used)
+        first = lsrm.roadmap.best_location()
+        ratios = [l.loss_gain_ratio for l in lsrm.roadmap.locations]
+        assert ratios == sorted(ratios)
+        assert first.loss_gain_ratio == min(ratios)
+
+    def test_shed_load_reaches_target(self):
+        eng = loaded_engine(seed=4)
+        s = LsrmShedder(eng, random.Random(0))
+        saved = s.shed_load(0.3)
+        assert saved >= 0.3
+
+    def test_shed_tuples_interface(self):
+        eng = loaded_engine(seed=5)
+        s = LsrmShedder(eng, random.Random(0))
+        assert s.shed_tuples(50) == 50
+        with pytest.raises(SheddingError):
+            s.shed_tuples(-1)
+
+    def test_refresh_rebuilds(self):
+        eng = loaded_engine(seed=6)
+        s = LsrmShedder(eng)
+        before = s.roadmap
+        s.refresh()
+        assert s.roadmap is not before
+
+
+@settings(max_examples=20, deadline=None)
+@given(allowed=st.floats(min_value=-100, max_value=400),
+       inflow=st.floats(min_value=0, max_value=400))
+def test_drop_probability_always_valid(allowed, inflow):
+    p = drop_probability(allowed, inflow)
+    assert 0.0 <= p <= 1.0

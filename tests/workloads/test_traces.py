@@ -1,0 +1,121 @@
+"""Unit tests for trace containers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads import CostTrace, RateTrace
+from repro.errors import WorkloadError
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            RateTrace([])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            RateTrace([10.0, -1.0])
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(WorkloadError):
+            RateTrace([1.0], period=0.0)
+
+    def test_duration(self):
+        assert RateTrace([1, 2, 3], period=0.5).duration == pytest.approx(1.5)
+
+
+class TestLookup:
+    def test_at_maps_time_to_period(self):
+        tr = RateTrace([10.0, 20.0, 30.0], period=2.0)
+        assert tr.at(0.0) == 10.0
+        assert tr.at(1.99) == 10.0
+        assert tr.at(2.0) == 20.0
+        assert tr.at(5.5) == 30.0
+
+    def test_at_clamps_outside(self):
+        tr = RateTrace([10.0, 20.0])
+        assert tr.at(-5.0) == 10.0
+        assert tr.at(100.0) == 20.0
+
+    def test_as_function(self):
+        tr = RateTrace([5.0])
+        assert tr.as_function()(0.3) == 5.0
+
+    def test_indexing_and_iteration(self):
+        tr = RateTrace([1.0, 2.0])
+        assert tr[1] == 2.0
+        assert list(tr) == [1.0, 2.0]
+        assert len(tr) == 2
+
+
+class TestTransforms:
+    def test_scaled(self):
+        tr = RateTrace([10.0, 20.0]).scaled(0.5)
+        assert list(tr) == [5.0, 10.0]
+        with pytest.raises(WorkloadError):
+            RateTrace([1.0]).scaled(-1.0)
+
+    def test_clipped(self):
+        tr = RateTrace([1.0, 5.0, 9.0]).clipped(2.0, 8.0)
+        assert list(tr) == [2.0, 5.0, 8.0]
+        with pytest.raises(WorkloadError):
+            RateTrace([1.0]).clipped(3.0, 1.0)
+
+    def test_resample_to_finer_grid(self):
+        tr = RateTrace([10.0, 20.0], period=1.0)
+        fine = tr.resampled(0.5)
+        assert list(fine) == [10.0, 10.0, 20.0, 20.0]
+        assert fine.period == 0.5
+
+    def test_resample_to_coarser_grid(self):
+        tr = RateTrace([10.0, 10.0, 30.0, 30.0], period=1.0)
+        coarse = tr.resampled(2.0)
+        assert len(coarse) == 2
+        assert coarse.duration == pytest.approx(4.0)
+
+    def test_resample_validation(self):
+        with pytest.raises(WorkloadError):
+            RateTrace([1.0]).resampled(0.0)
+
+
+class TestStatistics:
+    def test_mean_peak(self):
+        tr = RateTrace([10.0, 30.0])
+        assert tr.mean() == 20.0
+        assert tr.peak() == 30.0
+
+    def test_total_tuples(self):
+        tr = RateTrace([100.0, 200.0], period=0.5)
+        assert tr.total_tuples() == pytest.approx(150.0)
+
+    def test_burstiness_zero_for_constant(self):
+        assert RateTrace([5.0] * 10).burstiness() == 0.0
+
+    def test_burstiness_increases_with_spread(self):
+        low = RateTrace([90.0, 110.0] * 10)
+        high = RateTrace([10.0, 190.0] * 10)
+        assert high.burstiness() > low.burstiness()
+
+    def test_burstiness_zero_rate(self):
+        assert RateTrace([0.0, 0.0]).burstiness() == 0.0
+
+
+class TestCostTrace:
+    def test_as_multiplier(self):
+        ct = CostTrace([0.005, 0.010], period=1.0)
+        mult = ct.as_multiplier(base_cost=0.005)
+        assert mult(0.5) == pytest.approx(1.0)
+        assert mult(1.5) == pytest.approx(2.0)
+
+    def test_multiplier_validation(self):
+        with pytest.raises(WorkloadError):
+            CostTrace([0.005]).as_multiplier(0.0)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50),
+       st.floats(min_value=0.1, max_value=5.0))
+def test_resampling_preserves_range(values, new_period):
+    tr = RateTrace(values, period=1.0)
+    res = tr.resampled(new_period)
+    assert min(res) >= min(values) - 1e-9
+    assert max(res) <= max(values) + 1e-9
