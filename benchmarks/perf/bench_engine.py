@@ -1,0 +1,191 @@
+"""Perf regression harness: engine + control-loop + figure-benchmark timings.
+
+Writes ``BENCH_engine.json`` at the repository root so successive PRs can
+track the performance trajectory (each revision's numbers live in git
+history). Three sections:
+
+* ``engine_throughput`` — raw discrete-event engine tuples/second on the
+  14-operator identification network, measured on the optimized hot path
+  and on the legacy path (scan-based scheduling + per-tuple cost-multiplier
+  call) for a before/after pair on every run;
+* ``control_loop`` — closed-loop CTRL control cycles/second, i.e. the full
+  monitor -> controller -> actuator stack including the engine;
+* ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
+  (strategies x workloads) run serially vs. via the process pool.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py           # quick
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py --full    # paper-scale
+    PYTHONPATH=src python benchmarks/perf/bench_engine.py --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dsms import DepthFirstScheduler, Engine, identification_network  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    ExperimentConfig,
+    Job,
+    run_jobs,
+    run_strategy,
+    make_workload,
+)
+
+OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+STRATEGIES = ("CTRL", "BASELINE", "AURORA")
+WORKLOADS = ("web", "pareto")
+
+
+def overload_arrivals(n_tuples: int, rate: float, seed: int = 0):
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for __ in range(n_tuples):
+        t += rng.expovariate(rate)
+        out.append((t, (rng.random(), rng.random(), rng.random(),
+                        rng.random()), "src"))
+    return out
+
+
+def bench_engine_throughput(n_tuples: int, legacy: bool) -> dict:
+    """Drive the engine at ~2x capacity and measure tuples/second."""
+    net = identification_network()
+    engine = Engine(net)
+    if legacy:
+        # reconstruct the pre-optimization hot path: an unbound scheduler
+        # forces the per-tuple topological scan, and an explicit constant
+        # multiplier forces the per-tuple function call
+        engine.scheduler = DepthFirstScheduler(net)
+        for q in engine.queues.values():
+            q.set_watcher(None)
+        engine.cost_multiplier = lambda t: 1.0
+    arrivals = overload_arrivals(n_tuples, rate=380.0)
+    horizon = arrivals[-1][0] + 60.0
+    start = time.perf_counter()
+    engine.submit_many(arrivals)
+    engine.run_until(horizon)
+    wall = time.perf_counter() - start
+    return {
+        "source_tuples": engine.admitted_total,
+        "departed": engine.departed_total,
+        "wall_seconds": round(wall, 4),
+        "tuples_per_second": round(engine.departed_total / wall, 1),
+    }
+
+
+def bench_control_loop(duration: float) -> dict:
+    """Closed-loop CTRL cycles/second (full monitor/controller/actuator)."""
+    cfg = ExperimentConfig(duration=duration)
+    workload = make_workload("web", cfg)
+    start = time.perf_counter()
+    record = run_strategy("CTRL", workload, cfg)
+    wall = time.perf_counter() - start
+    return {
+        "control_cycles": len(record.periods),
+        "wall_seconds": round(wall, 4),
+        "cycles_per_second": round(len(record.periods) / wall, 1),
+        "sim_duration_seconds": duration,
+    }
+
+
+def bench_figure_fanout(duration: float, workers: int) -> dict:
+    """Fig. 12 job matrix: serial vs process-pool wall-clock."""
+    cfg = ExperimentConfig(duration=duration)
+    jobs = [
+        Job(strategy=s, config=cfg, workload_kind=w, key=f"{w}/{s}")
+        for w in WORKLOADS
+        for s in STRATEGIES
+    ]
+    start = time.perf_counter()
+    serial = run_jobs(jobs, workers=1)
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_jobs(jobs, workers=workers)
+    parallel_wall = time.perf_counter() - start
+    identical = all(
+        a.periods == b.periods and a.departures == b.departures
+        for a, b in zip(serial, parallel)
+    )
+    return {
+        "jobs": len(jobs),
+        "workers": workers,
+        "sim_duration_seconds": duration,
+        "serial_wall_seconds": round(serial_wall, 4),
+        "parallel_wall_seconds": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "records_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale durations (slower, steadier numbers)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the fan-out benchmark "
+                             "(default: min(4, cpu_count) but at least 2)")
+    parser.add_argument("--output", type=Path, default=OUTPUT,
+                        help=f"where to write the JSON (default {OUTPUT})")
+    args = parser.parse_args(argv)
+
+    n_tuples = 60_000 if args.full else 20_000
+    loop_duration = 400.0 if args.full else 120.0
+    fanout_duration = 400.0 if args.full else 60.0
+    workers = args.workers or max(2, min(4, os.cpu_count() or 1))
+
+    print(f"engine throughput ({n_tuples} tuples, optimized)...", flush=True)
+    optimized = bench_engine_throughput(n_tuples, legacy=False)
+    print(f"engine throughput ({n_tuples} tuples, legacy path)...", flush=True)
+    legacy = bench_engine_throughput(n_tuples, legacy=True)
+    print(f"control loop ({loop_duration:.0f}s sim)...", flush=True)
+    loop = bench_control_loop(loop_duration)
+    print(f"figure fan-out ({fanout_duration:.0f}s sim x "
+          f"{len(STRATEGIES) * len(WORKLOADS)} jobs, "
+          f"{workers} workers)...", flush=True)
+    fanout = bench_figure_fanout(fanout_duration, workers)
+
+    report = {
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "mode": "full" if args.full else "quick",
+        "engine_throughput": {
+            "after_optimized": optimized,
+            "before_legacy_path": legacy,
+            "single_process_speedup": round(
+                optimized["tuples_per_second"] / legacy["tuples_per_second"], 3
+            ),
+        },
+        "control_loop": loop,
+        "figure_fanout": fanout,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+
+    failures = []
+    if not fanout["records_identical"]:
+        failures.append("parallel records diverged from serial records")
+    if report["engine_throughput"]["single_process_speedup"] < 1.0:
+        failures.append("optimized engine slower than the legacy path")
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,7 @@ LSRM additionally optimizes which results are lost.
 
 import statistics
 
-from repro.experiments import make_cost_trace, make_workload, run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
 
 ACTUATORS = ("entry", "queue", "lsrm")
@@ -16,15 +16,11 @@ ACTUATORS = ("entry", "queue", "lsrm")
 
 def test_ablation_actuators(benchmark, config, save_report):
     cfg = config.scaled(duration=200.0)
-    workload = make_workload("web", cfg)
-    cost_trace = make_cost_trace(cfg)
 
     def run_all():
-        return {
-            name: run_strategy("CTRL", workload, cfg, cost_trace,
-                               actuator=name)
-            for name in ACTUATORS
-        }
+        jobs = [Job(strategy="CTRL", config=cfg, workload_kind="web",
+                    actuator=name) for name in ACTUATORS]
+        return dict(zip(ACTUATORS, run_jobs(jobs)))
 
     records = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []

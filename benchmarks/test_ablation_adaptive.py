@@ -7,7 +7,7 @@ benchmark compares CTRL and ADAPTIVE under cost variations twice as fast
 as Fig. 14's, where the fixed-gain design's cost estimate lags hardest.
 """
 
-from repro.experiments import make_workload, run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
 from repro.workloads import Circumstance, cost_trace
 
@@ -27,14 +27,14 @@ def fast_cost_trace(config):
 
 def test_ablation_adaptive(benchmark, config, save_report):
     cfg = config.scaled(duration=200.0)
-    workload = make_workload("web", cfg)
     costs = fast_cost_trace(cfg)
 
     def run_both():
-        return {
-            name: run_strategy(name, workload, cfg, costs).qos()
-            for name in ("CTRL", "ADAPTIVE", "AURORA")
-        }
+        names = ("CTRL", "ADAPTIVE", "AURORA")
+        jobs = [Job(strategy=name, config=cfg, workload_kind="web",
+                    cost_trace=costs) for name in names]
+        return {name: rec.qos()
+                for name, rec in zip(names, run_jobs(jobs))}
 
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = [[name, f"{q.accumulated_violation:.0f}", f"{q.delayed_tuples}",

@@ -8,7 +8,7 @@ this benchmark quantifies what back-calculation buys under an extreme
 on/off square-wave overload.
 """
 
-from repro.experiments import run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
 from repro.workloads import square_rate
 
@@ -19,13 +19,13 @@ def test_ablation_antiwindup(benchmark, config, save_report):
     workload = square_rate(int(cfg.duration), 40, low=20.0, high=750.0)
 
     def run_both():
-        return {
-            label: run_strategy(
-                "CTRL", workload, cfg,
-                controller_kwargs={"anti_windup": enabled},
-            ).qos()
-            for label, enabled in (("plain", False), ("anti-windup", True))
-        }
+        cells = (("plain", False), ("anti-windup", True))
+        jobs = [Job(strategy="CTRL", config=cfg, workload=workload,
+                    cost_trace=None,
+                    controller_kwargs={"anti_windup": enabled},
+                    key=label) for label, enabled in cells]
+        return {label: rec.qos()
+                for (label, __), rec in zip(cells, run_jobs(jobs))}
 
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = [[label, f"{q.accumulated_violation:.0f}", f"{q.delayed_tuples}",

@@ -11,28 +11,25 @@ jump peak), and it pays roughly the same data loss to do so.
 
 import statistics
 
-from repro.experiments import make_cost_trace, make_workload, run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.qos import delay_percentiles
 from repro.metrics.report import format_table
 
 
 def test_ablation_backpressure(benchmark, config, save_report):
     cfg = config.scaled(duration=300.0)
-    workload = make_workload("web", cfg)
-    cost_trace = make_cost_trace(cfg)
     # size the buffer to give a 2 s delay at *nominal* cost — the fairest
     # possible tuning for backpressure
     buffer_tuples = int(cfg.target * cfg.headroom / cfg.base_cost)
 
     def run_both():
-        recs = {
-            "CTRL": run_strategy("CTRL", workload, cfg, cost_trace),
-            "BACKPRESSURE": run_strategy(
-                "BACKPRESSURE", workload, cfg, cost_trace,
-                controller_kwargs={"max_queue": buffer_tuples},
-            ),
-        }
-        return recs
+        jobs = [
+            Job(strategy="CTRL", config=cfg, workload_kind="web"),
+            Job(strategy="BACKPRESSURE", config=cfg, workload_kind="web",
+                controller_kwargs={"max_queue": buffer_tuples}),
+        ]
+        records = run_jobs(jobs)
+        return {"CTRL": records[0], "BACKPRESSURE": records[1]}
 
     records = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = []

@@ -8,38 +8,33 @@ them, while open-loop AURORA's performance hinges on estimation accuracy —
 the Section 4.3.1 disturbance-rejection argument made concrete.
 """
 
-from repro.core import (
-    EwmaEstimator,
-    KalmanCostEstimator,
-    LastValueEstimator,
-    WindowMedianEstimator,
-)
-from repro.experiments import make_cost_trace, make_workload, run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
 
+#: display label -> picklable estimator spec (None = config-default EWMA)
 ESTIMATORS = {
-    "ewma(tau=20s)": None,  # the config default
-    "last-value": LastValueEstimator,
-    "median(5)": lambda c: WindowMedianEstimator(c, window=5),
-    "kalman": KalmanCostEstimator,
+    "ewma(tau=20s)": None,
+    "last-value": "last",
+    "median(5)": "median5",
+    "kalman": "kalman",
 }
 
 
 def test_ablation_estimators(benchmark, config, save_report):
     cfg = config.scaled(duration=200.0)
-    workload = make_workload("web", cfg)
-    cost_trace = make_cost_trace(cfg)
 
     def run_matrix():
-        out = {}
-        for est_name, factory in ESTIMATORS.items():
-            wrapped = (None if factory is None
-                       else (lambda f=factory: f(cfg.base_cost)))
-            for strat in ("CTRL", "AURORA"):
-                rec = run_strategy(strat, workload, cfg, cost_trace,
-                                   estimator_factory=wrapped)
-                out[(strat, est_name)] = rec.qos()
-        return out
+        cells = [(strat, est_name)
+                 for est_name in ESTIMATORS
+                 for strat in ("CTRL", "AURORA")]
+        jobs = [
+            Job(strategy=strat, config=cfg, workload_kind="web",
+                estimator=ESTIMATORS[est_name],
+                key=f"{strat}/{est_name}")
+            for strat, est_name in cells
+        ]
+        records = run_jobs(jobs)
+        return {cell: rec.qos() for cell, rec in zip(cells, records)}
 
     results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     rows = [[strat, est, f"{q.accumulated_violation:.0f}",

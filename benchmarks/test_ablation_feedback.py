@@ -9,21 +9,20 @@ measured-delay feedback must perform visibly worse (sluggish reaction,
 larger excursions) than the estimate.
 """
 
-from repro.experiments import make_cost_trace, make_workload, run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
 
 
 def test_ablation_feedback_signal(benchmark, config, save_report):
     cfg = config.scaled(duration=200.0)
-    workload = make_workload("web", cfg)
-    cost_trace = make_cost_trace(cfg)
 
     def run_both():
-        return {
-            mode: run_strategy("CTRL", workload, cfg, cost_trace,
-                               controller_kwargs={"feedback": mode}).qos()
-            for mode in ("estimate", "measured")
-        }
+        modes = ("estimate", "measured")
+        jobs = [Job(strategy="CTRL", config=cfg, workload_kind="web",
+                    controller_kwargs={"feedback": mode}, key=mode)
+                for mode in modes]
+        return {mode: rec.qos()
+                for mode, rec in zip(modes, run_jobs(jobs))}
 
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)
     rows = [[mode, f"{q.accumulated_violation:.0f}", f"{q.delayed_tuples}",

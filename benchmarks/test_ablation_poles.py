@@ -7,7 +7,7 @@ quantifies the tradeoff on the Web workload.
 """
 
 from repro.core import design_gains
-from repro.experiments import make_cost_trace, make_workload, run_strategy
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
 
 POLES = (0.9, 0.8, 0.7, 0.5, 0.2)
@@ -15,17 +15,17 @@ POLES = (0.9, 0.8, 0.7, 0.5, 0.2)
 
 def test_ablation_poles(benchmark, config, save_report):
     cfg = config.scaled(duration=200.0)
-    workload = make_workload("web", cfg)
-    cost_trace = make_cost_trace(cfg)
 
     def run_sweep():
-        out = {}
-        for pole in POLES:
-            gains = design_gains(poles=(pole, pole), controller_pole=0.8)
-            rec = run_strategy("CTRL", workload, cfg, cost_trace,
-                               controller_kwargs={"gains": gains})
-            out[pole] = rec.qos()
-        return out
+        jobs = [
+            Job(strategy="CTRL", config=cfg, workload_kind="web",
+                controller_kwargs={"gains": design_gains(
+                    poles=(pole, pole), controller_pole=0.8)},
+                key=f"pole={pole}")
+            for pole in POLES
+        ]
+        records = run_jobs(jobs)
+        return {pole: rec.qos() for pole, rec in zip(POLES, records)}
 
     results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     rows = [[f"{p:.1f}", f"{q.accumulated_violation:.0f}",

@@ -7,56 +7,30 @@ This benchmark closes the loop over the same workload with the depth-first
 scheduler: the controller, designed once, must regulate both.
 """
 
-import random
 import statistics
 
-from repro.core import (
-    ControlLoop,
-    DsmsModel,
-    EntryActuator,
-    Monitor,
-    PolePlacementController,
-)
-from repro.dsms import (
-    DepthFirstScheduler,
-    Engine,
-    RoundRobinScheduler,
-    identification_network,
-)
-from repro.experiments import make_workload
+from repro.experiments import Job, run_jobs
 from repro.metrics.report import format_table
-from repro.workloads import arrivals_from_trace
 
+#: display label -> picklable scheduler spec (see make_scheduler)
 SCHEDULERS = {
-    "depth-first (virtual FIFO)": DepthFirstScheduler,
-    "round-robin trains": RoundRobinScheduler,
-    "round-robin batch=50": lambda n: RoundRobinScheduler(n, batch=50),
+    "depth-first (virtual FIFO)": "depth_first",
+    "round-robin trains": "round_robin",
+    "round-robin batch=50": "round_robin:50",
 }
 
 
 def test_ablation_schedulers(benchmark, config, save_report):
     cfg = config.scaled(duration=200.0)
-    workload = make_workload("web", cfg)
 
     def run_all():
-        out = {}
-        for name, factory in SCHEDULERS.items():
-            network = identification_network(capacity=cfg.capacity)
-            engine = Engine(network, headroom=cfg.headroom,
-                            scheduler=factory(network),
-                            rng=random.Random(0))
-            model = DsmsModel(cost=cfg.base_cost, headroom=cfg.headroom,
-                              period=cfg.period)
-            monitor = Monitor(engine, model,
-                              cost_estimator=cfg.make_cost_estimator())
-            loop = ControlLoop(engine, PolePlacementController(model),
-                               monitor, EntryActuator(), target=cfg.target,
-                               period=cfg.period,
-                               cycle_cost=cfg.control_overhead)
-            arrivals = arrivals_from_trace(workload, poisson=True,
-                                           seed=cfg.seed)
-            out[name] = loop.run(arrivals, cfg.duration)
-        return out
+        names = list(SCHEDULERS)
+        jobs = [
+            Job(strategy="CTRL", config=cfg, workload_kind="web",
+                cost_trace=None, scheduler=SCHEDULERS[name], key=name)
+            for name in names
+        ]
+        return dict(zip(names, run_jobs(jobs)))
 
     records = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []

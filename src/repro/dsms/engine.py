@@ -17,6 +17,7 @@ counters expose the paper's *virtual queue length* ``q``.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
@@ -27,6 +28,16 @@ from .operators.base import Operator
 from .queues import OperatorQueue
 from .scheduler import DepthFirstScheduler, Scheduler
 from .tuple_ import Lineage, StreamTuple, make_source_tuple
+
+
+class LateArrivalWarning(RuntimeWarning):
+    """A tuple was submitted with a timestamp earlier than the engine clock.
+
+    The engine rewrites such timestamps to "now" (a tuple cannot arrive in
+    the past), which silently shortens its measured delay. A workload
+    generator producing these usually has a clock bug; the engine counts
+    them in :attr:`Engine.late_arrivals` and warns once per run.
+    """
 
 
 @dataclass(frozen=True)
@@ -56,25 +67,45 @@ class Engine:
         self.network = network
         self.headroom = float(headroom)
         self.scheduler = scheduler or DepthFirstScheduler(network)
-        self.cost_multiplier = cost_multiplier or (lambda t: 1.0)
+        self.cost_multiplier = cost_multiplier
         self.rng = rng or random.Random(0)
 
         self.now = 0.0
         self.queues: Dict[str, OperatorQueue] = {
             name: OperatorQueue(name) for name in network.operators
         }
+        self.scheduler.bind(self.queues)
         self._pending: Deque[Tuple[float, Tuple, str]] = deque()
         self._timed_ops: List[Operator] = [
             op for op in network.operators.values()
             if type(op).on_time is not Operator.on_time
         ]
+        self._timed_names = frozenset(op.name for op in self._timed_ops)
+        # cached earliest timer deadline; recomputed lazily when dirty
+        self._deadline_cache: Optional[float] = None
+        self._deadline_dirty = True
 
         # counters (cumulative over the whole run)
         self.admitted_total = 0      # source tuples entering the network
         self.departed_total = 0      # source tuples fully departed
         self.shed_total = 0          # departures lost to shedding
+        self.late_arrivals = 0       # submissions with timestamps in the past
         self.cpu_used = 0.0          # CPU seconds consumed by operators
+        self._late_warned = False
         self._departures: List[Departure] = []
+
+    # ------------------------------------------------------------------ #
+    # cost multiplier (fast path when it is the constant 1.0)
+    # ------------------------------------------------------------------ #
+    @property
+    def cost_multiplier(self) -> Callable[[float], float]:
+        return self._cost_multiplier or (lambda t: 1.0)
+
+    @cost_multiplier.setter
+    def cost_multiplier(self, fn: Optional[Callable[[float], float]]) -> None:
+        # None means "constant 1.0": the dispatch loop then skips one
+        # function call per executed tuple
+        self._cost_multiplier = fn
 
     # ------------------------------------------------------------------ #
     # input side
@@ -84,6 +115,17 @@ class Engine:
         if source not in self.network.sources:
             raise SchedulingError(f"unknown source {source!r}")
         if time < self.now:
+            self.late_arrivals += 1
+            if not self._late_warned:
+                self._late_warned = True
+                warnings.warn(
+                    f"arrival submitted at t={time:.6f} while the engine "
+                    f"clock is already at t={self.now:.6f}; rewriting to "
+                    "'now' (reported once per run; see "
+                    "Engine.late_arrivals for the total count)",
+                    LateArrivalWarning,
+                    stacklevel=2,
+                )
             time = self.now  # late submission: arrives "now"
         if self._pending and time < self._pending[-1][0]:
             raise SchedulingError(
@@ -132,8 +174,11 @@ class Engine:
         Combines the network's static expectation (using observed
         selectivities) with the time-varying cost multiplier.
         """
+        expected = self.network.expected_cost()
+        if self._cost_multiplier is None:
+            return expected
         t = self.now if at is None else at
-        return self.network.expected_cost() * self.cost_multiplier(t)
+        return expected * self._cost_multiplier(t)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -185,7 +230,9 @@ class Engine:
     def _dispatch(self, op_name: str) -> None:
         op = self.network.operators[op_name]
         tup, port = self.queues[op_name].pop()
-        cost = op.cost_of(tup, port) * self.cost_multiplier(self.now)
+        cost = op.cost_of(tup, port)
+        if self._cost_multiplier is not None:
+            cost *= self._cost_multiplier(self.now)
         self.cpu_used += cost
         self.now += cost / self.headroom
         outputs = op.apply(tup, port, self.now)
@@ -197,7 +244,12 @@ class Engine:
             tup.lineage.fork(n_same)
         tup.lineage.release(self.now)
         self._route(op_name, outputs)
-        self._fire_timers()
+        if self._timed_ops:
+            if op_name in self._timed_names:
+                # executing a timed operator may open/close a window and
+                # move its deadline
+                self._deadline_dirty = True
+            self._fire_timers()
 
     def _route(self, op_name: str, outputs: List[StreamTuple]) -> None:
         successors = self.network.successors(op_name)
@@ -211,18 +263,31 @@ class Engine:
                 self.queues[succ].push(out, succ_port)
 
     def _fire_timers(self) -> None:
+        # hot path: skip the sweep entirely when there are no timed
+        # operators or the earliest deadline is still in the future
+        if not self._timed_ops:
+            return
+        deadline = self._next_timer_deadline()
+        if deadline is None or deadline > self.now:
+            return
         for op in self._timed_ops:
             outputs = op.on_time(self.now)
             if outputs:
                 self._route(op.name, outputs)
+        self._deadline_dirty = True
 
     def _next_timer_deadline(self) -> Optional[float]:
-        deadlines = [d for d in (op.next_deadline() for op in self._timed_ops)
-                     if d is not None]
-        return min(deadlines) if deadlines else None
+        if self._deadline_dirty:
+            deadlines = [d for d in (op.next_deadline()
+                                     for op in self._timed_ops)
+                         if d is not None]
+            self._deadline_cache = min(deadlines) if deadlines else None
+            self._deadline_dirty = False
+        return self._deadline_cache
 
     def flush(self) -> None:
         """Force all buffered operator state (open windows) out of the network."""
+        self._deadline_dirty = True
         for op in self.network.operators.values():
             outputs = op.flush(self.now)
             if outputs:

@@ -33,6 +33,11 @@ class QueryNetwork:
         self.sources: Dict[str, List[Tuple[str, int]]] = {}
         #: number of input ports wired per operator
         self._in_ports: Dict[str, int] = defaultdict(int)
+        # structure/cost caches; the topology cache is invalidated on every
+        # wiring change, the cost cache whenever observed selectivities move
+        self._topo_cache: Optional[List[str]] = None
+        self._cost_cache_key: Optional[Tuple[float, ...]] = None
+        self._cost_cache_value: float = 0.0
 
     # ------------------------------------------------------------------ #
     # construction
@@ -72,6 +77,8 @@ class QueryNetwork:
                     f"unknown input {upstream!r} for operator {op.name!r}"
                 )
             self._in_ports[op.name] += 1
+        self._topo_cache = None
+        self._cost_cache_key = None
         self._check_acyclic()
         return op
 
@@ -84,7 +91,20 @@ class QueryNetwork:
     # structure queries
     # ------------------------------------------------------------------ #
     def topological_order(self) -> List[str]:
-        """Operator names in a valid execution order (sources first)."""
+        """Operator names in a valid execution order (sources first).
+
+        Cached between wiring changes; a fresh list is returned each call
+        so callers may keep or mutate their copy freely.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        order = self._compute_topological_order()
+        if len(order) == len(self.operators):
+            # only a complete (acyclic) order is worth caching
+            self._topo_cache = order
+        return list(order)
+
+    def _compute_topological_order(self) -> List[str]:
         indegree: Dict[str, int] = {name: 0 for name in self.operators}
         for edges in self.downstream.values():
             for succ, __ in edges:
@@ -166,9 +186,26 @@ class QueryNetwork:
         return dict(visits)
 
     def expected_cost(self, selectivities: Optional[Dict[str, float]] = None) -> float:
-        """Expected total CPU seconds per source tuple (the paper's ``c``)."""
-        visits = self.expected_visits(selectivities)
-        return sum(self.operators[name].cost * v for name, v in visits.items())
+        """Expected total CPU seconds per source tuple (the paper's ``c``).
+
+        The no-argument form (observed selectivities) is cached: the cache
+        key is the tuple of current operator selectivities, so any
+        selectivity update — every recorded execution can move one —
+        invalidates it automatically, while repeated queries against an
+        unchanged network are O(#operators) comparisons instead of a full
+        topological traversal.
+        """
+        if selectivities is not None:
+            visits = self.expected_visits(selectivities)
+            return sum(self.operators[name].cost * v
+                       for name, v in visits.items())
+        key = tuple(op.selectivity for op in self.operators.values())
+        if key != self._cost_cache_key:
+            visits = self.expected_visits()
+            self._cost_cache_value = sum(self.operators[name].cost * v
+                                         for name, v in visits.items())
+            self._cost_cache_key = key
+        return self._cost_cache_value
 
     def load_coefficients(self, selectivities: Optional[Dict[str, float]] = None
                           ) -> Dict[str, float]:

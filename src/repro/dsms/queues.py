@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, List, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from .tuple_ import StreamTuple
 
@@ -20,9 +20,16 @@ QueueEntry = Tuple[StreamTuple, int]
 
 
 class OperatorQueue:
-    """A FIFO queue in front of one operator."""
+    """A FIFO queue in front of one operator.
 
-    __slots__ = ("name", "_items", "enqueued", "dequeued", "shed")
+    A single *watcher* callback may be attached (:meth:`set_watcher`); it is
+    invoked with ``(name, nonempty)`` whenever the queue transitions between
+    empty and non-empty. Incremental schedulers use this to track the set of
+    serviceable operators without rescanning every queue per dispatched
+    tuple.
+    """
+
+    __slots__ = ("name", "_items", "enqueued", "dequeued", "shed", "_watcher")
 
     def __init__(self, name: str):
         self.name = name
@@ -30,16 +37,32 @@ class OperatorQueue:
         self.enqueued = 0
         self.dequeued = 0
         self.shed = 0
+        self._watcher: Optional[Callable[[str, bool], None]] = None
+
+    def set_watcher(self, watcher: Optional[Callable[[str, bool], None]]) -> None:
+        """Attach (or clear) the empty/non-empty transition callback.
+
+        The new watcher is immediately told the current state so it never
+        starts out of sync with the queue contents.
+        """
+        self._watcher = watcher
+        if watcher is not None:
+            watcher(self.name, bool(self._items))
 
     def push(self, item: StreamTuple, port: int = 0) -> None:
         self._items.append((item, port))
         self.enqueued += 1
+        if len(self._items) == 1 and self._watcher is not None:
+            self._watcher(self.name, True)
 
     def pop(self) -> QueueEntry:
         if not self._items:
             raise IndexError(f"queue {self.name!r} is empty")
         self.dequeued += 1
-        return self._items.popleft()
+        entry = self._items.popleft()
+        if not self._items and self._watcher is not None:
+            self._watcher(self.name, False)
+        return entry
 
     def peek(self) -> QueueEntry:
         if not self._items:
@@ -66,6 +89,8 @@ class OperatorQueue:
                 keep.append(entry)
         self._items = keep
         self.shed += len(victims)
+        if victims and not self._items and self._watcher is not None:
+            self._watcher(self.name, False)
         return victims
 
     def shed_count(self, count: int, rng: random.Random) -> List[StreamTuple]:
@@ -85,10 +110,15 @@ class OperatorQueue:
                 keep.append(entry)
         self._items = keep
         self.shed += len(victims)
+        if victims and not self._items and self._watcher is not None:
+            self._watcher(self.name, False)
         return victims
 
     def clear(self) -> None:
+        had_items = bool(self._items)
         self._items.clear()
+        if had_items and self._watcher is not None:
+            self._watcher(self.name, False)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -7,12 +7,20 @@ observation the whole control design rests on. :class:`RoundRobinScheduler`
 reproduces that policy; :class:`TopologicalScheduler` is an alternative that
 always drains upstream operators first (useful to show the model is
 scheduler-robust, as the paper conjectures in Section 5.2).
+
+Scheduling is on the engine's per-tuple hot path, so both schedulers keep
+*incremental* bookkeeping: once :meth:`Scheduler.bind` attaches them to an
+engine's queue map, enqueue/dequeue/shed transitions maintain the set of
+non-empty queues and :meth:`next_operator` never rescans the whole
+topological order. Calling :meth:`next_operator` with any *other* queue
+map (as standalone unit tests do) falls back to the original scan, so the
+observable policy is identical either way.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..errors import SchedulingError
 from .network import QueryNetwork
@@ -24,6 +32,40 @@ class Scheduler(abc.ABC):
 
     def __init__(self, network: QueryNetwork):
         self.network = network
+        #: the queue map this scheduler tracks incrementally (None = unbound)
+        self._bound: Optional[Dict[str, OperatorQueue]] = None
+        #: indices (into the topological order) of non-empty bound queues
+        self._nonempty: Set[int] = set()
+        self._index: Dict[str, int] = {}
+
+    def bind(self, queues: Dict[str, OperatorQueue]) -> None:
+        """Track ``queues`` incrementally via their transition watchers.
+
+        The engine calls this once at construction. Binding is optional:
+        an unbound scheduler (or one asked about a different queue map)
+        behaves identically by scanning.
+        """
+        order = self._topological_order()
+        self._index = {name: i for i, name in enumerate(order)}
+        self._bound = queues
+        self._nonempty = set()
+        for name in order:
+            queue = queues.get(name)
+            if queue is not None:
+                queue.set_watcher(self._on_transition)
+
+    def _on_transition(self, name: str, nonempty: bool) -> None:
+        idx = self._index.get(name)
+        if idx is None:
+            return
+        if nonempty:
+            self._nonempty.add(idx)
+        else:
+            self._nonempty.discard(idx)
+
+    def _topological_order(self) -> List[str]:
+        """The operator order this scheduler cycles/scans over."""
+        return self.network.topological_order()
 
     @abc.abstractmethod
     def next_operator(self, queues: Dict[str, OperatorQueue]) -> Optional[str]:
@@ -53,18 +95,45 @@ class RoundRobinScheduler(Scheduler):
         self._cursor = 0
         self._remaining_in_visit = batch
 
+    def _topological_order(self) -> List[str]:
+        return self._order
+
     def next_operator(self, queues: Dict[str, OperatorQueue]) -> Optional[str]:
         if not self._order:
             return None
-        n = len(self._order)
+        if self._bound is queues:
+            return self._next_bound()
+        return self._next_scanning(queues)
+
+    def _next_bound(self) -> Optional[str]:
+        nonempty = self._nonempty
+        if not nonempty:
+            return None
         # finish the current visit while the operator has work and quantum
+        if self._cursor in nonempty and (self._remaining_in_visit is None
+                                         or self._remaining_in_visit > 0):
+            if self._remaining_in_visit is not None:
+                self._remaining_in_visit -= 1
+            return self._order[self._cursor]
+        # advance cyclically: smallest non-empty index after the cursor,
+        # wrapping to the smallest overall (which may be the cursor itself)
+        cursor = self._cursor
+        nxt = min((i for i in nonempty if i > cursor), default=None)
+        if nxt is None:
+            nxt = min(nonempty)
+        self._cursor = nxt
+        self._remaining_in_visit = None if self.batch is None else self.batch - 1
+        return self._order[nxt]
+
+    def _next_scanning(self, queues: Dict[str, OperatorQueue]
+                       ) -> Optional[str]:
+        n = len(self._order)
         current = self._order[self._cursor]
         if queues[current] and (self._remaining_in_visit is None
                                 or self._remaining_in_visit > 0):
             if self._remaining_in_visit is not None:
                 self._remaining_in_visit -= 1
             return current
-        # advance cyclically to the next non-empty queue
         for step in range(1, n + 1):
             idx = (self._cursor + step) % n
             name = self._order[idx]
@@ -75,9 +144,10 @@ class RoundRobinScheduler(Scheduler):
         return None
 
     def reset(self) -> None:
+        # cursor state only: the topological order is immutable for a given
+        # network and was computed once in __init__
         self._cursor = 0
         self._remaining_in_visit = self.batch
-        self._order = self.network.topological_order()
 
 
 class DepthFirstScheduler(Scheduler):
@@ -97,7 +167,16 @@ class DepthFirstScheduler(Scheduler):
         super().__init__(network)
         self._order = network.topological_order()
 
+    def _topological_order(self) -> List[str]:
+        return self._order
+
     def next_operator(self, queues: Dict[str, OperatorQueue]) -> Optional[str]:
+        if self._bound is queues:
+            # depth-first keeps in-network inventory near zero, so the
+            # non-empty set is tiny and max() beats a full reverse scan
+            if not self._nonempty:
+                return None
+            return self._order[max(self._nonempty)]
         # serving the most DOWNSTREAM non-empty queue first pushes each tuple
         # through to the exit before starting the next one
         for name in reversed(self._order):
@@ -106,7 +185,8 @@ class DepthFirstScheduler(Scheduler):
         return None
 
     def reset(self) -> None:
-        self._order = self.network.topological_order()
+        # stateless between tuples; the order is computed once in __init__
+        pass
 
 
 #: backwards-compatible alias (the discipline walks the topology depth-first)

@@ -6,6 +6,15 @@ See DESIGN.md §4 for the experiment index (figure -> module -> benchmark).
 from .config import PAPER_CONFIG, QUICK_CONFIG, ExperimentConfig
 from .comparison import ComparisonResult, compare_both_workloads, compare_strategies
 from .overhead import OverheadResult, controller_overhead
+from .parallel import (
+    ESTIMATOR_SPECS,
+    Job,
+    default_workers,
+    execute_job,
+    parallel_enabled,
+    run_jobs,
+    run_jobs_keyed,
+)
 from .period_sweep import PAPER_PERIODS, PeriodSweepResult, period_sweep
 from .robustness import (
     PAPER_BIAS_FACTORS,
@@ -19,6 +28,7 @@ from .runner import (
     STRATEGIES,
     build_engine,
     make_cost_trace,
+    make_scheduler,
     make_workload,
     run_all_strategies,
     run_strategy,
@@ -38,7 +48,9 @@ __all__ = [
     "ACTUATORS",
     "BurstinessSweepResult",
     "ComparisonResult",
+    "ESTIMATOR_SPECS",
     "ExperimentConfig",
+    "Job",
     "ModelFit",
     "ModelVerificationResult",
     "OpenLoopRun",
@@ -59,12 +71,18 @@ __all__ = [
     "compare_both_workloads",
     "compare_strategies",
     "controller_overhead",
+    "default_workers",
+    "execute_job",
     "make_cost_trace",
+    "make_scheduler",
     "make_workload",
     "model_verification",
     "open_loop_run",
+    "parallel_enabled",
     "period_sweep",
     "run_all_strategies",
+    "run_jobs",
+    "run_jobs_keyed",
     "run_strategy",
     "schedule_fn",
     "setpoint_tracking",

@@ -15,7 +15,7 @@ from typing import Dict, Optional, Sequence
 
 from ..metrics.qos import QosMetrics
 from .config import ExperimentConfig
-from .runner import make_cost_trace, make_workload, run_strategy
+from .parallel import Job, run_jobs
 
 #: the paper's nine periods, in seconds
 PAPER_PERIODS = (0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
@@ -54,14 +54,22 @@ class PeriodSweepResult:
 def period_sweep(config: Optional[ExperimentConfig] = None,
                  periods: Sequence[float] = PAPER_PERIODS,
                  strategy: str = "CTRL",
-                 workload_kind: str = "web") -> PeriodSweepResult:
-    """Fig. 19: the same run at different control periods."""
+                 workload_kind: str = "web",
+                 workers: Optional[int] = None) -> PeriodSweepResult:
+    """Fig. 19: the same run at different control periods.
+
+    Each period is an independent seeded simulation, so the sweep fans out
+    over the experiment process pool (workload generation included — every
+    period resamples its own trace, exactly as the serial version did).
+    """
     config = config or ExperimentConfig()
-    metrics: Dict[float, QosMetrics] = {}
-    for t in periods:
-        cfg = config.scaled(period=t)
-        workload = make_workload(workload_kind, cfg)
-        cost_trace = make_cost_trace(cfg)
-        record = run_strategy(strategy, workload, cfg, cost_trace)
-        metrics[t] = record.qos()
+    jobs = [
+        Job(strategy=strategy, config=config.scaled(period=t),
+            workload_kind=workload_kind, key=f"T={t}")
+        for t in periods
+    ]
+    records = run_jobs(jobs, workers=workers)
+    metrics: Dict[float, QosMetrics] = {
+        t: record.qos() for t, record in zip(periods, records)
+    }
     return PeriodSweepResult(metrics=metrics)

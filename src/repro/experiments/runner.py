@@ -18,7 +18,14 @@ from ..core import (
     Monitor,
     PolePlacementController,
 )
-from ..dsms import Engine, VirtualQueueEngine, identification_network
+from ..dsms import (
+    DepthFirstScheduler,
+    Engine,
+    RoundRobinScheduler,
+    Scheduler,
+    VirtualQueueEngine,
+    identification_network,
+)
 from ..errors import ExperimentError
 from ..metrics.recorder import RunRecord
 from ..shedding import LsrmShedder, QueueShedder
@@ -67,15 +74,44 @@ def make_cost_trace(config: ExperimentConfig) -> Optional[CostTrace]:
                             seed=config.seed)
 
 
+def make_scheduler(spec: Optional[str], network) -> Optional[Scheduler]:
+    """Build a scheduler from a picklable spec string.
+
+    ``None`` keeps the engine default (depth-first). Recognized specs:
+    ``'depth_first'``, ``'round_robin'``, and ``'round_robin:<batch>'``.
+    """
+    if spec is None:
+        return None
+    if spec == "depth_first":
+        return DepthFirstScheduler(network)
+    if spec == "round_robin":
+        return RoundRobinScheduler(network)
+    if spec.startswith("round_robin:"):
+        try:
+            batch = int(spec.split(":", 1)[1])
+        except ValueError:
+            raise ExperimentError(
+                f"bad round_robin batch in scheduler spec {spec!r}"
+            ) from None
+        return RoundRobinScheduler(network, batch=batch)
+    raise ExperimentError(
+        f"unknown scheduler spec {spec!r}; use 'depth_first', "
+        "'round_robin' or 'round_robin:<batch>'"
+    )
+
+
 def build_engine(config: ExperimentConfig,
                  cost_trace: Optional[CostTrace] = None,
-                 engine_seed: int = 0) -> Engine:
+                 engine_seed: int = 0,
+                 scheduler: Optional[str] = None) -> Engine:
     """A fresh identification-network engine wired to the cost trace."""
     multiplier = (cost_trace.as_multiplier(config.base_cost)
                   if cost_trace is not None else None)
+    network = identification_network(capacity=config.capacity)
     return Engine(
-        identification_network(capacity=config.capacity),
+        network,
         headroom=config.headroom,
+        scheduler=make_scheduler(scheduler, network),
         cost_multiplier=multiplier,
         rng=random.Random(engine_seed),
     )
@@ -90,14 +126,16 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
                  arrival_seed: Optional[int] = None,
                  controller_kwargs: Optional[dict] = None,
                  estimator_factory: Optional[Callable[[], object]] = None,
-                 engine_kind: str = "full") -> RunRecord:
+                 engine_kind: str = "full",
+                 scheduler: Optional[str] = None) -> RunRecord:
     """Run one strategy over one workload; returns the full run record.
 
     ``estimator_factory`` overrides the config's cost estimator (used by
     the estimator ablation benchmark). ``engine_kind`` selects the full
     discrete-event engine (default) or the fast single-FIFO
     ``"fluid"`` model (Eq. 2) — the fluid engine supports only the entry
-    actuator.
+    actuator. ``scheduler`` is a spec string for :func:`make_scheduler`
+    (full engine only).
     """
     if isinstance(strategy, str):
         try:
@@ -111,11 +149,15 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
     if actuator not in ACTUATORS:
         raise ExperimentError(f"unknown actuator {actuator!r}; pick from {ACTUATORS}")
     if engine_kind == "full":
-        engine = build_engine(config, cost_trace)
+        engine = build_engine(config, cost_trace, scheduler=scheduler)
     elif engine_kind == "fluid":
         if actuator != "entry":
             raise ExperimentError(
                 "the fluid engine has no operator queues; use actuator='entry'"
+            )
+        if scheduler is not None:
+            raise ExperimentError(
+                "the fluid engine has no operator scheduler to configure"
             )
         multiplier = (cost_trace.as_multiplier(config.base_cost)
                       if cost_trace is not None else None)
@@ -153,11 +195,20 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
 def run_all_strategies(workload: RateTrace, config: ExperimentConfig,
                        cost_trace: Optional[CostTrace] = None,
                        strategies: Optional[List[str]] = None,
-                       actuator: str = "entry") -> Dict[str, RunRecord]:
-    """Run several strategies over the same workload (Fig. 12/15 helper)."""
+                       actuator: str = "entry",
+                       workers: Optional[int] = None) -> Dict[str, RunRecord]:
+    """Run several strategies over the same workload (Fig. 12/15 helper).
+
+    The strategies are independent seeded simulations, so they fan out over
+    the experiment process pool (see :mod:`repro.experiments.parallel`);
+    ``workers=1`` or ``REPRO_PARALLEL=0`` runs them serially with
+    bit-identical results.
+    """
+    from .parallel import Job, run_jobs
+
     names = strategies or ["CTRL", "BASELINE", "AURORA"]
-    return {
-        name: run_strategy(name, workload, config, cost_trace,
-                           actuator=actuator)
-        for name in names
-    }
+    jobs = [Job(strategy=name, config=config, workload=workload,
+                cost_trace=cost_trace, actuator=actuator)
+            for name in names]
+    records = run_jobs(jobs, workers=workers)
+    return dict(zip(names, records))
