@@ -1,0 +1,95 @@
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+CI runs the perf harness on every push, then calls this script to compare
+the fresh numbers with the baseline checked into the repository. A drop of
+more than ``--tolerance`` (default 20%) in either headline throughput
+metric fails the build:
+
+* ``engine_throughput.after_optimized.tuples_per_second``
+* ``control_loop.cycles_per_second``
+
+Throughput *gains* never fail; CI runners are noisy, so the tolerance is
+deliberately loose — the check exists to catch order-of-magnitude
+regressions (an accidentally quadratic hot path), not 5% jitter. Update
+the committed baseline in the same PR whenever the numbers legitimately
+move.
+
+Usage::
+
+    python benchmarks/perf/check_trend.py BENCH_engine.json BENCH_fresh.json
+    python benchmarks/perf/check_trend.py baseline.json fresh.json --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: dotted paths of the metrics the trend check guards (higher = better)
+METRICS = (
+    "engine_throughput.after_optimized.tuples_per_second",
+    "control_loop.cycles_per_second",
+)
+
+
+def dig(doc: dict, dotted: str) -> float:
+    node = doc
+    for part in dotted.split("."):
+        try:
+            node = node[part]
+        except (KeyError, TypeError):
+            raise SystemExit(
+                f"metric {dotted!r} missing from report (at {part!r})"
+            )
+    return float(node)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("fresh", type=Path,
+                        help="report from this run")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop per metric "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+
+    failures = []
+    for metric in METRICS:
+        base = dig(baseline, metric)
+        now = dig(fresh, metric)
+        if base <= 0:
+            print(f"{metric}: baseline {base} not positive, skipping")
+            continue
+        change = (now - base) / base
+        status = "OK" if change >= -args.tolerance else "REGRESSION"
+        print(f"{metric}: baseline {base:.1f} -> fresh {now:.1f} "
+              f"({change:+.1%}) [{status}]")
+        if status == "REGRESSION":
+            failures.append(
+                f"{metric} dropped {-change:.1%} "
+                f"(> {args.tolerance:.0%} allowed)"
+            )
+
+    for failure in failures:
+        print(f"PERF TREND FAILURE: {failure}", file=sys.stderr)
+    if failures:
+        print(
+            "If this slowdown is expected, regenerate the baseline with\n"
+            "  PYTHONPATH=src python benchmarks/perf/bench_engine.py\n"
+            "and commit the new BENCH_engine.json in the same PR.",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

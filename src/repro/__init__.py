@@ -22,6 +22,7 @@ from .errors import (
     NetworkError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SheddingError,
     UnstableDesignError,
     WorkloadError,
@@ -33,6 +34,7 @@ __all__ = [
     "NetworkError",
     "ReproError",
     "SchedulingError",
+    "ServiceError",
     "SheddingError",
     "UnstableDesignError",
     "WorkloadError",

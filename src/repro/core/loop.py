@@ -16,12 +16,21 @@ Each control period of length ``T``:
 
 The loop works with both the full discrete-event engine and the fast
 virtual-queue engine.
+
+Two driving styles share the same per-period body:
+
+* :meth:`ControlLoop.run` — the classic single-loop experiment: one
+  arrival stream, one fixed duration;
+* the stepped API (:meth:`begin` / :meth:`run_period` / :meth:`finish`) —
+  used by the sharded service layer (:mod:`repro.service`), which clocks
+  many loops in lockstep and lets a global coordinator adjust each loop's
+  target (:meth:`set_target`) between periods.
 """
 
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Iterable, Optional, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ExperimentError
 from ..metrics.recorder import PeriodRecord, RunRecord
@@ -42,11 +51,14 @@ class ControlLoop:
                  target: TargetSchedule = 2.0,
                  period: float = 1.0,
                  cycle_cost: float = 0.0,
-                 predictor: Optional[ArrivalPredictor] = None):
+                 predictor: Optional[ArrivalPredictor] = None,
+                 drain_max_extra: float = 600.0):
         if period <= 0:
             raise ExperimentError(f"control period must be positive, got {period}")
         if cycle_cost < 0:
             raise ExperimentError("cycle cost cannot be negative")
+        if drain_max_extra < 0:
+            raise ExperimentError("drain budget cannot be negative")
         self.engine = engine
         self.controller = controller
         self.monitor = monitor
@@ -59,6 +71,9 @@ class ControlLoop:
         #: forecaster for fin(k+1); None reproduces the paper's choice of
         #: reusing the current period's count verbatim
         self.predictor = predictor
+        #: extra virtual seconds the end-of-run drain may spend emptying the
+        #: backlog before giving up (the run record notes a truncated drain)
+        self.drain_max_extra = drain_max_extra
         self._target = target
 
     def target_at(self, k: int) -> float:
@@ -66,89 +81,138 @@ class ControlLoop:
             return float(self._target(k))
         return float(self._target)
 
-    def run(self, arrivals: Iterable[Arrival], duration: float) -> RunRecord:
-        """Drive the loop for ``duration`` seconds of virtual time."""
-        if duration <= 0:
-            raise ExperimentError("duration must be positive")
-        wall_start = _time.perf_counter()
+    def set_target(self, target: TargetSchedule) -> None:
+        """Replace the target schedule from outside the loop.
+
+        Takes effect at the next control decision; the service layer's
+        coordinator uses this to shift delay budget between shards while
+        their loops are running.
+        """
+        self._target = target
+
+    # ------------------------------------------------------------------ #
+    # stepped API (one call per control period)
+    # ------------------------------------------------------------------ #
+    def begin(self) -> RunRecord:
+        """Start a run: arm the actuator wide open, return a fresh record."""
         record = RunRecord(period=self.period)
-        arrival_iter = iter(arrivals)
-        pending: Optional[Arrival] = next(arrival_iter, None)
-        n_periods = int(round(duration / self.period))
         # first period: nothing measured yet -> admit everything
         self.actuator.begin_period(float("inf"), 0.0)
-        for k in range(n_periods):
-            boundary = (k + 1) * self.period
-            offered = 0
-            admitted = 0
-            while pending is not None and pending[0] < boundary:
-                t, values, source = pending
-                # advance the engine to the arrival instant so in-network
-                # actuators cull against the queue state the tuple actually
-                # meets (entry actuators are indifferent to this)
-                if t > self.engine.now:
-                    self.engine.run_until(t)
-                offered += 1
-                if self.actuator.admit(values, source):
-                    # the engine may sit slightly past the arrival instant
-                    # (it finishes the tuple in service); clamping to its
-                    # clock here is intended, so the engine's late-arrival
-                    # accounting stays reserved for genuine clock bugs
-                    t_submit = max(t, k * self.period)
-                    now = getattr(self.engine, "now", t_submit)
-                    self.engine.submit(max(t_submit, now), values, source)
-                    admitted += 1
-                pending = next(arrival_iter, None)
-            # the engine may already sit past the boundary (it finishes the
-            # tuple in service, and the cycle overhead advances the clock)
-            self.engine.run_until(max(boundary, self.engine.now))
-            if self.cycle_cost:
-                self.engine.consume_cpu(self.cycle_cost)
-            shed_retro = self.actuator.end_period(admitted)
-            m = self.monitor.measure()
-            target = self.target_at(k)
-            decision = self.controller.decide(m, target)
-            allowance = max(0.0, decision.v) * self.period
-            if self.predictor is not None:
-                self.predictor.update(float(offered))
-                inflow_estimate = self.predictor.predict()
-            else:
-                inflow_estimate = float(offered)
-            self.actuator.begin_period(allowance, inflow_estimate)
-            record.add(
-                PeriodRecord(
-                    k=k,
-                    time=m.time,
-                    target=target,
-                    delay_estimate=m.delay_estimate,
-                    queue_length=m.queue_length,
-                    cost=m.cost,
-                    inflow_rate=m.inflow_rate,
-                    outflow_rate=m.outflow_rate,
-                    offered=offered,
-                    admitted=admitted,
-                    shed_retro=shed_retro,
-                    v=decision.v,
-                    u=decision.u,
-                    error=decision.error,
-                    alpha=getattr(self.actuator, "alpha", 0.0),
-                ),
-                m.departures,
-            )
-            record.offered_total += offered
+        return record
+
+    def run_period(self, record: RunRecord, k: int,
+                   arrivals: Iterable[Arrival]) -> PeriodRecord:
+        """Execute control period ``k``: feed its arrivals, measure, decide.
+
+        ``arrivals`` must hold exactly the tuples with timestamps below the
+        period boundary ``(k + 1) * period`` that have not been fed yet, in
+        time order.
+        """
+        boundary = (k + 1) * self.period
+        offered = 0
+        admitted = 0
+        for t, values, source in arrivals:
+            # advance the engine to the arrival instant so in-network
+            # actuators cull against the queue state the tuple actually
+            # meets (entry actuators are indifferent to this)
+            if t > self.engine.now:
+                self.engine.run_until(t)
+            offered += 1
+            if self.actuator.admit(values, source):
+                # the engine may sit slightly past the arrival instant
+                # (it finishes the tuple in service); clamping to its
+                # clock here is intended, so the engine's late-arrival
+                # accounting stays reserved for genuine clock bugs
+                t_submit = max(t, k * self.period)
+                now = getattr(self.engine, "now", t_submit)
+                self.engine.submit(max(t_submit, now), values, source)
+                admitted += 1
+        # the engine may already sit past the boundary (it finishes the
+        # tuple in service, and the cycle overhead advances the clock)
+        self.engine.run_until(max(boundary, self.engine.now))
+        if self.cycle_cost:
+            self.engine.consume_cpu(self.cycle_cost)
+        shed_retro = self.actuator.end_period(admitted)
+        m = self.monitor.measure()
+        target = self.target_at(k)
+        decision = self.controller.decide(m, target)
+        allowance = max(0.0, decision.v) * self.period
+        if self.predictor is not None:
+            self.predictor.update(float(offered))
+            inflow_estimate = self.predictor.predict()
+        else:
+            inflow_estimate = float(offered)
+        self.actuator.begin_period(allowance, inflow_estimate)
+        period_record = PeriodRecord(
+            k=k,
+            time=m.time,
+            target=target,
+            delay_estimate=m.delay_estimate,
+            queue_length=m.queue_length,
+            cost=m.cost,
+            inflow_rate=m.inflow_rate,
+            outflow_rate=m.outflow_rate,
+            offered=offered,
+            admitted=admitted,
+            shed_retro=shed_retro,
+            v=decision.v,
+            u=decision.u,
+            error=decision.error,
+            alpha=getattr(self.actuator, "alpha", 0.0),
+        )
+        record.add(period_record, m.departures)
+        record.offered_total += offered
+        return period_record
+
+    def finish(self, record: RunRecord, n_periods: int) -> None:
+        """Close a stepped run: account entry drops, drain the backlog."""
         record.duration = n_periods * self.period
         if self.actuator.drops_outside_engine:
             # in-network drops already appear as shed departures
             record.entry_dropped_total = self.actuator.dropped_total
         # let the backlog drain so every delivered tuple's delay is known
         self._drain(record)
+
+    # ------------------------------------------------------------------ #
+    # classic single-call driver
+    # ------------------------------------------------------------------ #
+    def run(self, arrivals: Iterable[Arrival], duration: float) -> RunRecord:
+        """Drive the loop for ``duration`` seconds of virtual time."""
+        if duration <= 0:
+            raise ExperimentError("duration must be positive")
+        wall_start = _time.perf_counter()
+        record = self.begin()
+        arrival_iter = iter(arrivals)
+        pending: Optional[Arrival] = next(arrival_iter, None)
+        n_periods = int(round(duration / self.period))
+        for k in range(n_periods):
+            boundary = (k + 1) * self.period
+            due: List[Arrival] = []
+            while pending is not None and pending[0] < boundary:
+                due.append(pending)
+                pending = next(arrival_iter, None)
+            self.run_period(record, k, due)
+        self.finish(record, n_periods)
         record.wall_seconds = _time.perf_counter() - wall_start
         return record
 
-    def _drain(self, record: RunRecord, max_extra: float = 600.0) -> None:
-        """Run the engine with no new input until the queue empties."""
-        deadline = self.engine.now + max_extra
+    def _drain(self, record: RunRecord,
+               max_extra: Optional[float] = None) -> None:
+        """Run the engine with no new input until the queue empties.
+
+        The drain gives up after ``drain_max_extra`` virtual seconds; when
+        that deadline truncates outstanding tuples the record's
+        ``drain_truncated``/``drain_leftover`` fields say so (the flush that
+        follows still force-completes them, but their timing is no longer a
+        faithful quiescent drain).
+        """
+        budget = self.drain_max_extra if max_extra is None else max_extra
+        deadline = self.engine.now + budget
         while self.engine.outstanding > 0 and self.engine.now < deadline:
             self.engine.run_until(min(self.engine.now + 5.0, deadline))
+        leftover = self.engine.outstanding
+        if leftover > 0:
+            record.drain_truncated = True
+            record.drain_leftover = leftover
         self.engine.flush()
         record.departures.extend(self.engine.drain_departures())

@@ -37,3 +37,7 @@ class SheddingError(ReproError):
 
 class ExperimentError(ReproError):
     """Errors in experiment configuration or execution."""
+
+
+class ServiceError(ReproError):
+    """Errors in the sharded service layer (routing, coordination)."""

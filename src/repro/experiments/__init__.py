@@ -33,6 +33,13 @@ from .runner import (
     run_all_strategies,
     run_strategy,
 )
+from .service_demo import (
+    DEFAULT_MODES,
+    ServiceComparison,
+    build_service_workload,
+    run_service_experiment,
+    service_comparison,
+)
 from .setpoint import PAPER_SCHEDULE, SetpointResult, schedule_fn, setpoint_tracking
 from .sysid import (
     ModelFit,
@@ -48,6 +55,7 @@ __all__ = [
     "ACTUATORS",
     "BurstinessSweepResult",
     "ComparisonResult",
+    "DEFAULT_MODES",
     "ESTIMATOR_SPECS",
     "ExperimentConfig",
     "Job",
@@ -63,10 +71,12 @@ __all__ = [
     "QUICK_CONFIG",
     "RetunedAuroraResult",
     "STRATEGIES",
+    "ServiceComparison",
     "SetpointResult",
     "StepResponseResult",
     "aurora_retuned",
     "build_engine",
+    "build_service_workload",
     "burstiness_sweep",
     "compare_both_workloads",
     "compare_strategies",
@@ -83,8 +93,10 @@ __all__ = [
     "run_all_strategies",
     "run_jobs",
     "run_jobs_keyed",
+    "run_service_experiment",
     "run_strategy",
     "schedule_fn",
+    "service_comparison",
     "setpoint_tracking",
     "step_response",
 ]

@@ -50,6 +50,7 @@ from ..core.estimation import (
 )
 from ..errors import ExperimentError
 from ..metrics.recorder import RunRecord
+from ..service.config import ServiceConfig
 from ..workloads import CostTrace, RateTrace
 from .config import ExperimentConfig
 from .runner import make_cost_trace, make_workload, run_strategy
@@ -94,11 +95,20 @@ class Job:
     seed: Optional[int] = None            # overrides config.seed when set
     arrival_seed: Optional[int] = None
     key: Optional[str] = None             # caller-chosen label
+    #: when set, the job runs a whole sharded service (N coordinated
+    #: control loops over a skewed multi-source workload derived from
+    #: ``workload_kind``) and yields a ServiceResult instead of a RunRecord
+    service: Optional[ServiceConfig] = None
 
     def __post_init__(self) -> None:
         if (self.workload is None) == (self.workload_kind is None):
             raise ExperimentError(
                 "a Job needs exactly one of 'workload' or 'workload_kind'"
+            )
+        if self.service is not None and self.workload_kind is None:
+            raise ExperimentError(
+                "a service job derives its skewed per-source workload from "
+                "'workload_kind'; explicit workloads are not supported"
             )
         if self.estimator is not None and self.estimator not in ESTIMATOR_SPECS:
             raise ExperimentError(
@@ -125,6 +135,14 @@ class Job:
 def execute_job(job: Job) -> RunRecord:
     """Run one job to completion in the current process (deterministic)."""
     config = job.resolved_config()
+    if job.service is not None:
+        # service jobs run a whole coordinated fleet; imported lazily so
+        # plain single-loop sweeps never touch the service layer
+        from .service_demo import run_service_experiment
+
+        return run_service_experiment(  # type: ignore[return-value]
+            config, job.service, workload_kind=job.workload_kind,
+        )
     workload = (job.workload if job.workload is not None
                 else make_workload(job.workload_kind, config))
     if isinstance(job.cost_trace, str):

@@ -8,22 +8,25 @@ from .export import (
 )
 from .qos import (
     QosMetrics,
+    combine_qos,
     delay_percentiles,
     compute_qos,
     delays_by_arrival_period,
     relative_metrics,
 )
-from .recorder import PeriodRecord, RunRecord
+from .recorder import PeriodRecord, RunRecord, merge_records
 
 __all__ = [
     "PeriodRecord",
     "QosMetrics",
     "RunRecord",
+    "combine_qos",
     "compute_qos",
     "delay_percentiles",
     "delays_by_arrival_period",
     "departures_to_csv",
     "load_json",
+    "merge_records",
     "periods_to_csv",
     "record_to_json",
     "relative_metrics",

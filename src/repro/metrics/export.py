@@ -57,6 +57,8 @@ def record_to_json(record: RunRecord, path: PathLike,
         "offered_total": record.offered_total,
         "entry_dropped_total": record.entry_dropped_total,
         "wall_seconds": record.wall_seconds,
+        "drain_truncated": record.drain_truncated,
+        "drain_leftover": record.drain_leftover,
         "qos": {
             "accumulated_violation": qos.accumulated_violation,
             "delayed_tuples": qos.delayed_tuples,

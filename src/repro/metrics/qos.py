@@ -103,6 +103,29 @@ def compute_qos(departures: Iterable[Departure],
     )
 
 
+def combine_qos(metrics: Iterable[QosMetrics]) -> QosMetrics:
+    """Aggregate per-shard QoS into one fleet-level summary.
+
+    Extensive quantities (violation seconds, delayed/delivered/shed/offered
+    counts) are summed, ``max_overshoot`` is the worst shard's overshoot,
+    and ``mean_delay`` is weighted by each shard's delivered count.
+    """
+    metrics = list(metrics)
+    if not metrics:
+        raise ExperimentError("cannot combine zero QoS summaries")
+    delivered = sum(m.delivered for m in metrics)
+    total_delay = sum(m.mean_delay * m.delivered for m in metrics)
+    return QosMetrics(
+        accumulated_violation=sum(m.accumulated_violation for m in metrics),
+        delayed_tuples=sum(m.delayed_tuples for m in metrics),
+        max_overshoot=max(m.max_overshoot for m in metrics),
+        delivered=delivered,
+        shed=sum(m.shed for m in metrics),
+        offered=sum(m.offered for m in metrics),
+        mean_delay=total_delay / delivered if delivered else 0.0,
+    )
+
+
 def relative_metrics(candidate: QosMetrics, reference: QosMetrics,
                      epsilon: float = 1e-9) -> dict:
     """Per-metric ratios candidate/reference (the paper's Fig. 12 format)."""

@@ -1,0 +1,34 @@
+"""Sharded multi-stream service layer.
+
+The paper's feedback loop controls one query network; this subpackage
+scales it out: N engine shards each run their own Monitor -> Controller ->
+Actuator loop, a stream router partitions sources across them, and a
+global headroom coordinator aggregates per-shard delay estimates every
+control period and rebalances the fleet (CPU shares, delay budgets, and a
+global drop bound). See README.md "Sharded service layer" for a
+quickstart and docs/THEORY.md §7 for why the coordinated loops stay
+stable.
+"""
+
+from .config import DEFAULT_TOTAL_HEADROOM, ServiceConfig
+from .coordinator import MODES, HeadroomCoordinator
+from .router import ExplicitRouter, HashRouter, StreamRouter, make_router
+from .service import ServiceResult, StreamService, build_service
+from .shard import SHARD_CONTROLLERS, EngineShard, build_shard
+
+__all__ = [
+    "DEFAULT_TOTAL_HEADROOM",
+    "EngineShard",
+    "ExplicitRouter",
+    "HashRouter",
+    "HeadroomCoordinator",
+    "MODES",
+    "SHARD_CONTROLLERS",
+    "ServiceConfig",
+    "ServiceResult",
+    "StreamRouter",
+    "StreamService",
+    "build_service",
+    "build_shard",
+    "make_router",
+]

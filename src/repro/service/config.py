@@ -1,0 +1,87 @@
+"""Configuration of the sharded multi-stream service.
+
+A :class:`ServiceConfig` is a frozen, picklable spec: combined with the
+usual :class:`~repro.experiments.config.ExperimentConfig` it fully
+determines a service run, so the experiment process pool can fan service
+runs out exactly like single-loop jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..errors import ServiceError
+
+#: default machine-level CPU fraction available for query processing —
+#: the paper's H, now shared by all shards on the machine
+DEFAULT_TOTAL_HEADROOM = 0.97
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All knobs of a sharded service run (picklable)."""
+
+    n_shards: int = 4
+    router: str = "explicit"            # 'hash' | 'explicit'
+    mode: str = "headroom"              # 'independent' | 'target' | 'headroom'
+    rebalance_gain: float = 0.5
+    total_headroom: float = DEFAULT_TOTAL_HEADROOM
+    headroom_floor: float = 0.02
+    headroom_ceiling: float = 0.97
+    loss_bound: Optional[float] = None  # global drop SLA (fraction), None = off
+    strategy: str = "CTRL"              # per-shard controller
+    drain_max_extra: float = 600.0
+    # skew/hotspot workload shape
+    n_sources: int = 4
+    hotspot_factor: float = 3.0
+    hotspot_index: int = 0
+    per_source_rate: Optional[float] = None  # tuples/s of a regular source;
+                                             # None -> 55% of one shard's
+                                             # baseline capacity
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ServiceError(f"need at least one shard, got {self.n_shards}")
+        if self.n_sources < 1:
+            raise ServiceError(f"need at least one source, got {self.n_sources}")
+        if not 0.0 < self.total_headroom <= 1.0:
+            raise ServiceError(
+                f"total headroom must be in (0, 1], got {self.total_headroom}"
+            )
+        if not 0 <= self.hotspot_index < self.n_sources:
+            raise ServiceError(
+                f"hotspot index {self.hotspot_index} outside "
+                f"[0, {self.n_sources})"
+            )
+        if self.hotspot_factor <= 0:
+            raise ServiceError(
+                f"hotspot factor must be positive, got {self.hotspot_factor}"
+            )
+        share = self.total_headroom / self.n_shards
+        if not self.headroom_floor <= share <= self.headroom_ceiling:
+            raise ServiceError(
+                f"equal split {share:.4f} falls outside the per-shard bounds "
+                f"[{self.headroom_floor}, {self.headroom_ceiling}]"
+            )
+
+    @property
+    def source_names(self) -> Tuple[str, ...]:
+        return tuple(f"s{j}" for j in range(self.n_sources))
+
+    @property
+    def shard_names(self) -> Tuple[str, ...]:
+        return tuple(f"shard{i}" for i in range(self.n_shards))
+
+    def initial_headrooms(self) -> List[float]:
+        """The balanced starting split of the machine's CPU."""
+        return [self.total_headroom / self.n_shards] * self.n_shards
+
+    def default_assignments(self) -> dict:
+        """Round-robin source -> shard pinning for the explicit router."""
+        return {name: j % self.n_shards
+                for j, name in enumerate(self.source_names)}
+
+    def with_mode(self, mode: str) -> "ServiceConfig":
+        """A copy in a different coordination mode (for A/B comparisons)."""
+        return replace(self, mode=mode)

@@ -1,0 +1,216 @@
+"""The global headroom coordinator (supervisory layer over N shard loops).
+
+Once per control period — after every shard has closed its period and
+armed its actuator — the coordinator aggregates the per-shard state
+(delay estimates, queue lengths, offered load, cost estimates) and
+rebalances the fleet. Three modes:
+
+* ``"independent"`` — no rebalancing: N paper loops running side by side
+  (the baseline the coordinated modes are judged against);
+* ``"headroom"`` — sum-preserving reallocation of the machine's CPU
+  share: each shard's demand is its offered CPU load plus a backlog
+  catch-up term, the total headroom is split proportionally to demand
+  (bounded per shard), and each shard moves a ``gain`` fraction of the
+  way to its allocation per period. Because both the old and the new
+  allocation vectors sum to the same total, the machine is never
+  oversubscribed;
+* ``"target"`` — sum-preserving delay-budget shift: shards whose delay
+  estimate runs above their base target get a *tighter* operating target
+  (their loop sheds earlier and harder, keeping actual delay under the
+  base SLA instead of riding it), and the freed budget is parked on the
+  shards running below their targets, where slack is free. The total
+  budget ``sum(base_target)`` is invariant, so no shard's loop dynamics
+  change — only the reference each loop tracks. The trade is explicit:
+  lower worst-shard delay violation, bought with extra loss on the
+  stressed shards.
+
+Orthogonally to the mode, an optional ``loss_bound`` reconciles the
+per-shard entry shedders against a global drop SLA: when the fleet's
+expected drop fraction for the coming period exceeds the bound, every
+shard's drop probability is scaled down proportionally to its demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ServiceError
+from ..metrics.recorder import PeriodRecord
+from .shard import EngineShard
+
+MODES = ("independent", "target", "headroom")
+
+
+class HeadroomCoordinator:
+    """Aggregates per-shard measurements and rebalances each period."""
+
+    def __init__(self, mode: str = "headroom",
+                 gain: float = 0.5,
+                 headroom_floor: float = 0.02,
+                 headroom_ceiling: float = 0.97,
+                 target_floor_fraction: float = 0.25,
+                 loss_bound: Optional[float] = None):
+        if mode not in MODES:
+            raise ServiceError(f"unknown coordinator mode {mode!r}; "
+                               f"pick from {MODES}")
+        if not 0.0 <= gain <= 1.0:
+            raise ServiceError(f"rebalance gain {gain} outside [0, 1]")
+        if not 0.0 < headroom_floor < headroom_ceiling <= 1.0:
+            raise ServiceError(
+                f"need 0 < floor < ceiling <= 1, got "
+                f"[{headroom_floor}, {headroom_ceiling}]"
+            )
+        if not 0.0 < target_floor_fraction <= 1.0:
+            raise ServiceError(
+                f"target floor fraction {target_floor_fraction} outside (0, 1]"
+            )
+        if loss_bound is not None and not 0.0 <= loss_bound <= 1.0:
+            raise ServiceError(f"loss bound {loss_bound} outside [0, 1]")
+        self.mode = mode
+        self.gain = gain
+        self.headroom_floor = headroom_floor
+        self.headroom_ceiling = headroom_ceiling
+        self.target_floor_fraction = target_floor_fraction
+        self.loss_bound = loss_bound
+        #: one dict per period: what was observed and what was allocated
+        self.history: List[dict] = []
+
+    # ------------------------------------------------------------------ #
+    # the once-per-period entry point
+    # ------------------------------------------------------------------ #
+    def rebalance(self, k: int, shards: Sequence[EngineShard],
+                  periods: Sequence[PeriodRecord]) -> dict:
+        """Observe period ``k``'s close and adjust the fleet for ``k + 1``."""
+        if len(shards) != len(periods):
+            raise ServiceError("one period record per shard required")
+        entry: dict = {"k": k, "mode": self.mode}
+        if self.mode == "headroom":
+            self._rebalance_headroom(shards, periods, entry)
+        elif self.mode == "target":
+            self._rebalance_targets(shards, periods, entry)
+        if self.loss_bound is not None:
+            self._reconcile_drop_caps(shards, periods, entry)
+        self.history.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # CPU-share rebalancing
+    # ------------------------------------------------------------------ #
+    def _rebalance_headroom(self, shards: Sequence[EngineShard],
+                            periods: Sequence[PeriodRecord],
+                            entry: dict) -> None:
+        total = sum(s.headroom for s in shards)
+        period = shards[0].loop.period
+        demands = []
+        for shard, p in zip(shards, periods):
+            offered_rate = p.offered / period
+            # catch-up: drain the current backlog within one target horizon
+            backlog_rate = p.queue_length / max(shard.base_target, period)
+            demands.append(max(p.cost * (offered_rate + backlog_rate), 1e-9))
+        scale = total / sum(demands)
+        shares = [d * scale for d in demands]
+        alloc = _bounded_shares(shares, self.headroom_floor,
+                                self.headroom_ceiling, total)
+        new = []
+        for shard, h_alloc in zip(shards, alloc):
+            h = (1.0 - self.gain) * shard.headroom + self.gain * h_alloc
+            shard.set_headroom(h)
+            new.append(h)
+        entry["demand"] = demands
+        entry["headroom"] = new
+
+    # ------------------------------------------------------------------ #
+    # delay-budget rebalancing
+    # ------------------------------------------------------------------ #
+    def _rebalance_targets(self, shards: Sequence[EngineShard],
+                           periods: Sequence[PeriodRecord],
+                           entry: dict) -> None:
+        n = len(shards)
+        budget = sum(s.base_target for s in shards)
+        # pressure: how far each shard's estimated delay runs above its own
+        # base target; positive = stressed -> tighten its operating target
+        # (shed earlier, keep actual delay under the base SLA) and park the
+        # freed budget on the shards with slack
+        errors = [p.delay_estimate - s.base_target
+                  for s, p in zip(shards, periods)]
+        mean_error = sum(errors) / n
+        floors = [s.base_target * self.target_floor_fraction for s in shards]
+        raw = [
+            max(s.base_target - self.gain * (e - mean_error), floor)
+            for s, e, floor in zip(shards, errors, floors)
+        ]
+        # re-center so the fleet's total delay budget is preserved exactly;
+        # the correction is spread over the shards still above their floor
+        new = list(raw)
+        for __ in range(n):
+            residual = budget - sum(new)
+            if abs(residual) < 1e-12:
+                break
+            if residual > 0:
+                adjustable = list(range(n))
+            else:
+                adjustable = [i for i in range(n) if new[i] > floors[i] + 1e-12]
+                if not adjustable:
+                    break
+            step = residual / len(adjustable)
+            for i in adjustable:
+                new[i] = max(new[i] + step, floors[i])
+        for shard, t in zip(shards, new):
+            shard.set_target(t)
+        entry["targets"] = new
+
+    # ------------------------------------------------------------------ #
+    # global drop-bound reconciliation
+    # ------------------------------------------------------------------ #
+    def _reconcile_drop_caps(self, shards: Sequence[EngineShard],
+                             periods: Sequence[PeriodRecord],
+                             entry: dict) -> None:
+        # inflow weights: the same estimate the loops armed their shedders
+        # with (this period's offered count as the forecast for the next)
+        weights = [float(p.offered) for p in periods]
+        requested = [s.requested_alpha for s in shards]
+        total_inflow = sum(weights)
+        if total_inflow <= 0:
+            return
+        demanded = sum(a * w for a, w in zip(requested, weights))
+        allowed = self.loss_bound * total_inflow
+        if demanded <= allowed:
+            # inside the SLA: lift any caps from previous periods
+            caps = [1.0] * len(shards)
+        else:
+            scale = allowed / demanded
+            caps = [min(1.0, a * scale) for a in requested]
+        for shard, cap in zip(shards, caps):
+            shard.cap_alpha(cap)
+        entry["alpha_caps"] = caps
+
+
+def _bounded_shares(shares: Sequence[float], floor: float, ceiling: float,
+                    total: float) -> List[float]:
+    """Clamp shares into [floor, ceiling] while preserving their sum.
+
+    Iterative water-filling: clamp, then spread the residual over the
+    shards with room left (proportionally to that room). Each pass either
+    finishes or saturates at least one shard, so ``n`` passes suffice.
+    """
+    n = len(shares)
+    if n * floor > total + 1e-12 or n * ceiling < total - 1e-12:
+        raise ServiceError(
+            f"total headroom {total:.4f} cannot be split over {n} shards "
+            f"within [{floor}, {ceiling}]"
+        )
+    alloc = [min(max(s, floor), ceiling) for s in shares]
+    for __ in range(n):
+        residual = total - sum(alloc)
+        if abs(residual) < 1e-12:
+            break
+        if residual > 0:
+            room = [ceiling - a for a in alloc]
+        else:
+            room = [floor - a for a in alloc]  # negative room
+        total_room = sum(room)
+        if abs(total_room) < 1e-15:
+            break
+        for i in range(n):
+            alloc[i] += residual * room[i] / total_room
+    return alloc

@@ -1,0 +1,111 @@
+"""Stream router: partitions sources across engine shards.
+
+A sharded service runs N independent engines; the router decides which
+shard serves which *source*. Two policies:
+
+* :class:`HashRouter` — stable hash of the source name (CRC32, so the
+  mapping is identical across processes and Python hash randomization);
+* :class:`ExplicitRouter` — an operator-provided assignment table, for
+  deployments that pin heavy sources to dedicated shards.
+
+Routing is per-source, never per-tuple: all tuples of one source land on
+one shard, so per-shard delay statistics stay meaningful and windowed
+operators never see a split stream.
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ServiceError
+
+Arrival = Tuple[float, Tuple, str]
+
+
+class StreamRouter(abc.ABC):
+    """Maps source names to shard indices in ``[0, n_shards)``."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ServiceError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+
+    @abc.abstractmethod
+    def shard_of(self, source: str) -> int:
+        """The shard index serving ``source``."""
+
+    def partition(self, arrivals: Sequence[Arrival]) -> List[List[Arrival]]:
+        """Split one time-ordered arrival list into per-shard lists.
+
+        Each output list preserves the input's time order (stable split).
+        """
+        out: List[List[Arrival]] = [[] for __ in range(self.n_shards)]
+        cache: Dict[str, int] = {}
+        for arrival in arrivals:
+            source = arrival[2]
+            shard = cache.get(source)
+            if shard is None:
+                shard = self.shard_of(source)
+                if not 0 <= shard < self.n_shards:
+                    raise ServiceError(
+                        f"router mapped source {source!r} to shard {shard}, "
+                        f"outside [0, {self.n_shards})"
+                    )
+                cache[source] = shard
+            out[shard].append(arrival)
+        return out
+
+
+class HashRouter(StreamRouter):
+    """Hash-by-source-name partitioning (CRC32 modulo shard count).
+
+    CRC32 rather than :func:`hash` so the assignment is stable across
+    interpreter runs and worker processes — a requirement for the
+    deterministic parallel fan-out.
+    """
+
+    def shard_of(self, source: str) -> int:
+        return zlib.crc32(source.encode("utf-8")) % self.n_shards
+
+
+class ExplicitRouter(StreamRouter):
+    """Operator-pinned assignments: ``{source_name: shard_index}``."""
+
+    def __init__(self, assignments: Mapping[str, int],
+                 n_shards: Optional[int] = None):
+        if not assignments:
+            raise ServiceError("explicit router needs at least one assignment")
+        inferred = max(assignments.values()) + 1
+        super().__init__(inferred if n_shards is None else n_shards)
+        for source, shard in assignments.items():
+            if not 0 <= shard < self.n_shards:
+                raise ServiceError(
+                    f"assignment {source!r} -> {shard} outside "
+                    f"[0, {self.n_shards})"
+                )
+        self.assignments = dict(assignments)
+
+    def shard_of(self, source: str) -> int:
+        try:
+            return self.assignments[source]
+        except KeyError:
+            raise ServiceError(
+                f"source {source!r} has no shard assignment"
+            ) from None
+
+
+def make_router(spec: str, n_shards: int,
+                assignments: Optional[Mapping[str, int]] = None
+                ) -> StreamRouter:
+    """Build a router from a picklable spec string (``'hash'``/``'explicit'``)."""
+    if spec == "hash":
+        return HashRouter(n_shards)
+    if spec == "explicit":
+        if assignments is None:
+            raise ServiceError("explicit routing needs an assignment table")
+        return ExplicitRouter(assignments, n_shards)
+    raise ServiceError(
+        f"unknown router spec {spec!r}; use 'hash' or 'explicit'"
+    )

@@ -1,0 +1,178 @@
+"""The service runner: N shard loops in lockstep under one coordinator.
+
+:class:`StreamService` drives every shard's control loop period by period
+on a shared clock grid: each period the router-partitioned arrivals are
+fed to their shards, every shard closes its period (measure -> decide ->
+arm), and then the coordinator observes all shards at once and rebalances
+headroom/targets/drop caps for the next period. With the coordinator in
+``"independent"`` mode this degenerates to N disjoint paper loops.
+
+The result keeps one :class:`~repro.metrics.recorder.RunRecord` per shard
+plus a merged aggregate record, all exportable through the existing
+:mod:`repro.metrics.export` helpers.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ServiceError
+from ..metrics.export import record_to_json
+from ..metrics.qos import QosMetrics, combine_qos
+from ..metrics.recorder import RunRecord, merge_records
+from .config import ServiceConfig
+from .coordinator import HeadroomCoordinator
+from .router import StreamRouter, make_router
+from .shard import EngineShard, build_shard
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from ..experiments.config import ExperimentConfig
+
+Arrival = Tuple[float, Tuple, str]
+
+
+@dataclass
+class ServiceResult:
+    """Everything one service run produced."""
+
+    mode: str
+    base_target: float
+    shard_records: Dict[str, RunRecord]
+    coordinator_history: List[dict] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def aggregate(self) -> RunRecord:
+        """The fleet as one merged record (cached after first use)."""
+        if not hasattr(self, "_aggregate"):
+            self._aggregate = merge_records(list(self.shard_records.values()))
+        return self._aggregate
+
+    def shard_qos(self) -> Dict[str, QosMetrics]:
+        """Per-shard QoS, always judged against the *base* target.
+
+        Using the base target (not any coordinator-adjusted schedule)
+        keeps coordination modes comparable: a shard does not get credit
+        for violating a target it talked the coordinator into relaxing.
+        """
+        return {name: rec.qos(target=self.base_target)
+                for name, rec in self.shard_records.items()}
+
+    def aggregate_qos(self) -> QosMetrics:
+        return combine_qos(self.shard_qos().values())
+
+    def worst_shard(self, metric: str = "accumulated_violation"
+                    ) -> Tuple[str, float]:
+        """The shard faring worst on one QoS attribute, with its value."""
+        per_shard = {name: getattr(q, metric)
+                     for name, q in self.shard_qos().items()}
+        name = max(per_shard, key=per_shard.get)
+        return name, per_shard[name]
+
+    def export(self, directory) -> List:
+        """Write per-shard and aggregate JSON documents; returns the paths."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = [
+            record_to_json(rec, directory / f"{name}.json")
+            for name, rec in self.shard_records.items()
+        ]
+        paths.append(record_to_json(self.aggregate,
+                                    directory / "aggregate.json"))
+        return paths
+
+
+class StreamService:
+    """N engine shards, a stream router, and a global coordinator."""
+
+    def __init__(self, shards: Sequence[EngineShard], router: StreamRouter,
+                 coordinator: HeadroomCoordinator):
+        if not shards:
+            raise ServiceError("a service needs at least one shard")
+        if router.n_shards != len(shards):
+            raise ServiceError(
+                f"router covers {router.n_shards} shards but the service "
+                f"has {len(shards)}"
+            )
+        periods = {shard.loop.period for shard in shards}
+        if len(periods) != 1:
+            raise ServiceError(
+                "all shards must share one control period for lockstep "
+                f"operation, got {sorted(periods)}"
+            )
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"shard names must be unique, got {names}")
+        self.shards = list(shards)
+        self.router = router
+        self.coordinator = coordinator
+        self.period = next(iter(periods))
+
+    def run(self, arrivals: Sequence[Arrival], duration: float) -> ServiceResult:
+        """Drive all shards for ``duration`` seconds of virtual time."""
+        if duration <= 0:
+            raise ServiceError("duration must be positive")
+        wall_start = _time.perf_counter()
+        n_periods = int(round(duration / self.period))
+        per_shard = self.router.partition(arrivals)
+        iters: List[Iterator[Arrival]] = [iter(lst) for lst in per_shard]
+        pendings: List[Optional[Arrival]] = [next(it, None) for it in iters]
+        records = [shard.loop.begin() for shard in self.shards]
+        for k in range(n_periods):
+            boundary = (k + 1) * self.period
+            closed = []
+            for i, shard in enumerate(self.shards):
+                # logical stream names route tuples to shards; inside the
+                # shard they all enter at its physical source
+                due: List[Arrival] = []
+                while pendings[i] is not None and pendings[i][0] < boundary:
+                    t, values, _source = pendings[i]
+                    due.append((t, values, shard.entry_source))
+                    pendings[i] = next(iters[i], None)
+                closed.append(shard.loop.run_period(records[i], k, due))
+            self.coordinator.rebalance(k, self.shards, closed)
+        for shard, record in zip(self.shards, records):
+            shard.loop.finish(record, n_periods)
+        wall = _time.perf_counter() - wall_start
+        base_target = self.shards[0].base_target
+        return ServiceResult(
+            mode=self.coordinator.mode,
+            base_target=base_target,
+            shard_records={shard.name: record
+                           for shard, record in zip(self.shards, records)},
+            coordinator_history=list(self.coordinator.history),
+            wall_seconds=wall,
+        )
+
+
+def build_service(config: "ExperimentConfig",
+                  svc: ServiceConfig) -> StreamService:
+    """Assemble shards + router + coordinator from picklable specs."""
+    headrooms = svc.initial_headrooms()
+    shards = [
+        build_shard(
+            name,
+            config,
+            headroom=headrooms[i],
+            target=config.target,
+            strategy=svc.strategy,
+            engine_seed=config.seed + 104729 * (i + 1),
+            drain_max_extra=svc.drain_max_extra,
+        )
+        for i, name in enumerate(svc.shard_names)
+    ]
+    assignments = (svc.default_assignments()
+                   if svc.router == "explicit" else None)
+    router = make_router(svc.router, svc.n_shards, assignments)
+    coordinator = HeadroomCoordinator(
+        mode=svc.mode,
+        gain=svc.rebalance_gain,
+        headroom_floor=svc.headroom_floor,
+        headroom_ceiling=svc.headroom_ceiling,
+        loss_bound=svc.loss_bound,
+    )
+    return StreamService(shards, router, coordinator)

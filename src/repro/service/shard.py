@@ -1,0 +1,164 @@
+"""One engine shard: a full Monitor -> Controller -> Actuator loop.
+
+A shard is the paper's entire Fig. 3 system in miniature — its own
+discrete-event engine over its own query network, its own monitor, cost
+estimator, controller and entry actuator — plus the mutation points the
+global coordinator needs between control periods:
+
+* :meth:`EngineShard.set_target` — shift the shard's delay budget;
+* :meth:`EngineShard.set_headroom` — shift the shard's share of the
+  machine's CPU. The engine, the model the monitor estimates with, and
+  the controller's gain all follow the new ``H`` at the next period, so
+  the pole placement stays where it was designed (the controller gain
+  ``H/(cT)`` cancels the plant gain ``cT/H`` at whatever ``H`` is in
+  force — see docs/THEORY.md §7);
+* :meth:`EngineShard.cap_alpha` — bound the shard's entry-drop
+  probability (the coordinator-reconciled global loss SLA).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..core import (
+    AdaptiveController,
+    AuroraOpenLoopController,
+    BackpressureController,
+    BaselineController,
+    ControlLoop,
+    Controller,
+    DsmsModel,
+    EntryActuator,
+    Monitor,
+    PolePlacementController,
+)
+from ..dsms import Engine, identification_network
+from ..errors import ServiceError
+from ..shedding import BoundedEntryShedder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from ..experiments.config import ExperimentConfig
+
+#: controller factories a picklable service spec may name
+SHARD_CONTROLLERS: Dict[str, Callable[[DsmsModel], Controller]] = {
+    "CTRL": PolePlacementController,
+    "BASELINE": BaselineController,
+    "AURORA": AuroraOpenLoopController,
+    "BACKPRESSURE": BackpressureController,
+    "ADAPTIVE": AdaptiveController,
+}
+
+
+class EngineShard:
+    """A named engine + control loop, adjustable by the coordinator.
+
+    Logical stream names are a routing concept; inside the shard every
+    admitted tuple enters the query network at one physical source,
+    ``entry_source`` (resolved to the network's single source unless given
+    explicitly).
+    """
+
+    def __init__(self, name: str, engine: Engine, loop: ControlLoop,
+                 model: DsmsModel, base_target: float,
+                 entry_source: Optional[str] = None):
+        self.name = name
+        self.engine = engine
+        self.loop = loop
+        self.model = model
+        #: the shard's own QoS requirement, before any coordination
+        self.base_target = float(base_target)
+        self.target = float(base_target)
+        if entry_source is None:
+            sources = list(engine.network.sources)
+            if len(sources) != 1:
+                raise ServiceError(
+                    f"shard {name!r} hosts a network with sources {sources}; "
+                    "pass entry_source explicitly"
+                )
+            entry_source = sources[0]
+        elif entry_source not in engine.network.sources:
+            raise ServiceError(
+                f"entry source {entry_source!r} not in shard {name!r}'s network"
+            )
+        #: where routed tuples physically enter this shard's network
+        self.entry_source = entry_source
+
+    # ------------------------------------------------------------------ #
+    # coordinator mutation points
+    # ------------------------------------------------------------------ #
+    @property
+    def headroom(self) -> float:
+        return self.engine.headroom
+
+    def set_headroom(self, headroom: float) -> None:
+        """Re-share the machine: applies from the next operator execution."""
+        if not 0.0 < headroom <= 1.0:
+            raise ServiceError(
+                f"shard headroom must be in (0, 1], got {headroom}"
+            )
+        self.engine.headroom = float(headroom)
+        self.model = replace(self.model, headroom=float(headroom))
+        self.loop.monitor.model = self.model
+        self.loop.controller.model = self.model
+
+    def set_target(self, target: float) -> None:
+        """Adjust the delay target the loop regulates toward."""
+        if target < 0:
+            raise ServiceError(f"negative delay target {target}")
+        self.target = float(target)
+        self.loop.set_target(float(target))
+
+    def cap_alpha(self, alpha_cap: float) -> None:
+        """Bound the entry shedder's drop probability (no-op otherwise)."""
+        shedder = getattr(self.loop.actuator, "shedder", None)
+        if isinstance(shedder, BoundedEntryShedder):
+            shedder.cap(alpha_cap)
+
+    # ------------------------------------------------------------------ #
+    # coordinator observation points
+    # ------------------------------------------------------------------ #
+    @property
+    def requested_alpha(self) -> float:
+        """The controller's uncapped drop demand for the armed period."""
+        shedder = getattr(self.loop.actuator, "shedder", None)
+        if isinstance(shedder, BoundedEntryShedder):
+            return shedder.requested_alpha
+        return getattr(self.loop.actuator, "alpha", 0.0)
+
+
+def build_shard(name: str,
+                config: "ExperimentConfig",
+                headroom: float,
+                target: float,
+                strategy: str = "CTRL",
+                engine_seed: int = 0,
+                drain_max_extra: float = 600.0) -> EngineShard:
+    """A fresh identification-network shard at the given headroom share."""
+    try:
+        factory = SHARD_CONTROLLERS[strategy]
+    except KeyError:
+        raise ServiceError(
+            f"unknown shard strategy {strategy!r}; "
+            f"pick from {sorted(SHARD_CONTROLLERS)}"
+        ) from None
+    network = identification_network(capacity=config.capacity)
+    engine = Engine(network, headroom=headroom,
+                    rng=random.Random(engine_seed))
+    model = DsmsModel(cost=config.base_cost, headroom=headroom,
+                      period=config.period)
+    monitor = Monitor(engine, model,
+                      cost_estimator=config.make_cost_estimator())
+    controller = factory(model)
+    actuator = EntryActuator(
+        shedder=BoundedEntryShedder(random.Random(engine_seed + 1))
+    )
+    loop = ControlLoop(
+        engine, controller, monitor, actuator,
+        target=target,
+        period=config.period,
+        cycle_cost=config.control_overhead,
+        drain_max_extra=drain_max_extra,
+    )
+    return EngineShard(name, engine, loop, model, base_target=target)

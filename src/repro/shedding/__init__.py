@@ -1,7 +1,7 @@
 """Load-shedder substrate: entry coin-flip, in-network random, and LSRM."""
 
 from .base import LoadShedder, drop_probability
-from .entry import EntryShedder
+from .entry import BoundedEntryShedder, EntryShedder
 from .lsrm import LoadSheddingRoadmap, LsrmShedder, output_yield
 from .plan import DropLocation, SheddingPlan, rank_locations
 from .priority import PriorityEntryShedder
@@ -9,6 +9,7 @@ from .queue_shedder import QueueShedder
 from .semantic import SemanticEntryShedder, StreamingQuantile
 
 __all__ = [
+    "BoundedEntryShedder",
     "DropLocation",
     "EntryShedder",
     "LoadShedder",

@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..errors import SheddingError
 from .base import LoadShedder, drop_probability
 
 
@@ -31,3 +32,36 @@ class EntryShedder(LoadShedder):
             self.dropped_total += 1
             return False
         return True
+
+
+class BoundedEntryShedder(EntryShedder):
+    """An entry shedder whose drop probability can be capped externally.
+
+    The sharded service layer runs one of these per shard: each shard's
+    controller requests a drop probability via :meth:`set_allowance` as
+    usual, and the global coordinator may then *cap* it so the fleet's
+    aggregate expected loss stays within a configured bound (a loss SLA
+    reconciled across shards each control period). ``requested_alpha``
+    keeps the controller's uncapped demand so the coordinator can allocate
+    the global drop budget proportionally to demand.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 alpha_cap: float = 1.0):
+        super().__init__(rng)
+        if not 0.0 <= alpha_cap <= 1.0:
+            raise SheddingError(f"alpha cap {alpha_cap} outside [0, 1]")
+        self.alpha_cap = alpha_cap
+        #: the controller's uncapped drop probability for the coming period
+        self.requested_alpha = 0.0
+
+    def set_allowance(self, tuples_allowed: float, expected_inflow: float) -> None:
+        self.requested_alpha = drop_probability(tuples_allowed, expected_inflow)
+        self.alpha = min(self.requested_alpha, self.alpha_cap)
+
+    def cap(self, alpha_cap: float) -> None:
+        """Tighten (or relax) the cap; applies to the armed period too."""
+        if not 0.0 <= alpha_cap <= 1.0:
+            raise SheddingError(f"alpha cap {alpha_cap} outside [0, 1]")
+        self.alpha_cap = alpha_cap
+        self.alpha = min(self.requested_alpha, self.alpha_cap)

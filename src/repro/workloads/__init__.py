@@ -29,6 +29,7 @@ from .patterns import (
     square_rate,
     step_rate,
 )
+from .skew import hotspot_weights, multi_source_arrivals, skewed_source_traces
 from .trace import CostTrace, RateTrace
 from .web import load_ita_trace, web_rate_trace
 
@@ -43,15 +44,18 @@ __all__ = [
     "cost_trace",
     "fig14_circumstances",
     "fig14_cost_trace",
+    "hotspot_weights",
     "iter_arrivals",
     "load_ita_trace",
     "merge_arrivals",
+    "multi_source_arrivals",
     "pareto_median",
     "pareto_rate_trace",
     "pareto_rate_trace_with_mean",
     "piecewise_rate",
     "ramp_rate",
     "sinusoid_rate",
+    "skewed_source_traces",
     "square_rate",
     "step_rate",
     "uniform_values",

@@ -1,0 +1,97 @@
+"""Skewed multi-source workloads (hotspot traffic for the service layer).
+
+A sharded service routes *sources* to engine shards, so demonstrating the
+value of global coordination needs workloads whose load is unevenly spread
+across sources: one hotspot source offering a multiple of the others' rate
+while every source shares the same temporal shape. These helpers build that
+from any base :class:`~repro.workloads.trace.RateTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import WorkloadError
+from .arrivals import Arrival, arrivals_from_trace, merge_arrivals
+from .trace import RateTrace
+
+
+def hotspot_weights(n_sources: int, hotspot_factor: float,
+                    hotspot_index: int = 0) -> List[float]:
+    """Per-source rate multipliers: one hotspot, the rest at weight 1.
+
+    ``hotspot_factor`` is the hotspot's rate relative to a regular source
+    (3.0 = three times the traffic). Weights multiply a per-source base
+    rate; they are deliberately *not* renormalized, so adding a hotspot
+    adds load rather than silently starving the other sources.
+    """
+    if n_sources < 1:
+        raise WorkloadError("need at least one source")
+    if hotspot_factor <= 0:
+        raise WorkloadError(f"hotspot factor must be positive, got {hotspot_factor}")
+    if not 0 <= hotspot_index < n_sources:
+        raise WorkloadError(
+            f"hotspot index {hotspot_index} outside [0, {n_sources})"
+        )
+    weights = [1.0] * n_sources
+    weights[hotspot_index] = hotspot_factor
+    return weights
+
+
+def skewed_source_traces(base: RateTrace,
+                         weights: Sequence[float],
+                         per_source_mean: Optional[float] = None,
+                         names: Optional[Sequence[str]] = None
+                         ) -> Dict[str, RateTrace]:
+    """One rate trace per source: the base shape scaled per weight.
+
+    Source ``j``'s trace has mean ``per_source_mean * weights[j]``
+    (``per_source_mean`` defaults to the base trace's own mean), keeping
+    every source's temporal pattern identical so shard-level differences
+    come purely from the skew.
+    """
+    if not weights:
+        raise WorkloadError("need at least one source weight")
+    if names is not None and len(names) != len(weights):
+        raise WorkloadError("names and weights must have the same length")
+    mean = base.mean()
+    if mean <= 0:
+        raise WorkloadError("base trace must carry load")
+    target = mean if per_source_mean is None else float(per_source_mean)
+    if target <= 0:
+        raise WorkloadError(f"per-source mean must be positive, got {target}")
+    names = list(names) if names is not None else [
+        f"s{j}" for j in range(len(weights))
+    ]
+    return {
+        name: base.scaled(w * target / mean)
+        for name, w in zip(names, weights)
+    }
+
+
+def multi_source_arrivals(traces: Dict[str, RateTrace],
+                          n_fields: int = 4,
+                          poisson: bool = False,
+                          seed: Optional[int] = None) -> List[Arrival]:
+    """Materialize several per-source traces as one merged arrival list.
+
+    Each source gets an independent RNG derived from ``seed`` and its
+    position, so the streams are mutually independent yet the whole
+    workload stays reproducible (and picklable-job friendly).
+    """
+    if not traces:
+        raise WorkloadError("need at least one source trace")
+    streams = [
+        arrivals_from_trace(trace, source=name, n_fields=n_fields,
+                            poisson=poisson,
+                            seed=None if seed is None else seed + 7919 * j)
+        for j, (name, trace) in enumerate(traces.items())
+    ]
+    return merge_arrivals(*streams)
+
+
+__all__ = [
+    "hotspot_weights",
+    "multi_source_arrivals",
+    "skewed_source_traces",
+]

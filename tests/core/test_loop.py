@@ -102,6 +102,82 @@ class TestLoopMechanics:
         delivered_or_shed = len(rec.departures) + rec.entry_dropped_total
         assert delivered_or_shed == rec.offered_total
 
+    def test_default_drain_is_not_truncated(self):
+        loop, __ = make_loop()
+        trace = constant_rate(300.0, 20)
+        rec = loop.run(arrivals_from_trace(trace, seed=6), 20.0)
+        assert rec.drain_truncated is False
+        assert rec.drain_leftover == 0
+
+    def test_tiny_drain_budget_truncates_and_is_recorded(self):
+        """A zero drain budget leaves the backlog to the flush, flagged."""
+        loop, engine = make_loop()
+        loop.drain_max_extra = 0.0
+        # heavy overload with the actuator wide open for the first period
+        # guarantees a backlog at the end of a short run
+        trace = constant_rate(800.0, 3)
+        rec = loop.run(arrivals_from_trace(trace, seed=6), 3.0)
+        assert rec.drain_truncated is True
+        assert rec.drain_leftover > 0
+        # the flush still force-completes everything
+        assert engine.outstanding == 0
+        delivered_or_shed = len(rec.departures) + rec.entry_dropped_total
+        assert delivered_or_shed == rec.offered_total
+
+    def test_drain_budget_validation(self):
+        import random as _random
+        from repro.core import EwmaEstimator as _E
+        engine = Engine(identification_network(), headroom=0.97,
+                        rng=_random.Random(0))
+        model = DsmsModel(cost=1 / 190, headroom=0.97, period=1.0)
+        monitor = Monitor(engine, model, cost_estimator=_E(1 / 190, 0.3))
+        with pytest.raises(ExperimentError):
+            ControlLoop(engine, PolePlacementController(model), monitor,
+                        EntryActuator(), drain_max_extra=-1.0)
+
+
+class TestSteppedApi:
+    """begin()/run_period()/finish() — the service layer's entry points."""
+
+    def _arrivals(self, rate=300.0, seconds=20):
+        return arrivals_from_trace(constant_rate(rate, seconds), seed=21)
+
+    def test_stepped_run_matches_classic_run_exactly(self):
+        loop_a, __ = make_loop(seed=3)
+        rec_a = loop_a.run(self._arrivals(), 20.0)
+
+        loop_b, __ = make_loop(seed=3)
+        rec_b = loop_b.begin()
+        pending = list(self._arrivals())
+        for k in range(20):
+            boundary = (k + 1) * loop_b.period
+            due = [a for a in pending if a[0] < boundary]
+            pending = pending[len(due):]
+            loop_b.run_period(rec_b, k, due)
+        loop_b.finish(rec_b, 20)
+
+        assert rec_a.periods == rec_b.periods
+        assert rec_a.departures == rec_b.departures
+        assert rec_a.offered_total == rec_b.offered_total
+        assert rec_a.entry_dropped_total == rec_b.entry_dropped_total
+
+    def test_set_target_takes_effect_next_decision(self):
+        loop, __ = make_loop()
+        rec = loop.begin()
+        arrivals = list(self._arrivals(rate=300.0, seconds=40))
+        for k in range(40):
+            boundary = (k + 1) * loop.period
+            due = [a for a in arrivals if k * loop.period <= a[0] < boundary]
+            p = loop.run_period(rec, k, due)
+            if k == 19:
+                loop.set_target(4.0)
+        loop.finish(rec, 40)
+        assert rec.periods[10].target == 2.0
+        assert rec.periods[25].target == 4.0
+        # and the loop actually regulates toward the new budget
+        est_tail = [p.delay_estimate for p in rec.periods[32:]]
+        assert sum(est_tail) / len(est_tail) == pytest.approx(4.0, abs=0.8)
+
 
 class TestActuatorVariants:
     def _run(self, actuator_factory):

@@ -114,6 +114,82 @@ class TestTimersAndFlush:
         assert eng.departed_total == before
 
 
+class TestQueueSheddingEdges:
+    """Edge cases of the in-network shedding primitives."""
+
+    def make_backlogged_engine(self, n=50):
+        """A chain engine with ``n`` tuples parked before op0."""
+        eng = Engine(chain_network(2, capacity=10.0), headroom=1.0,
+                     rng=random.Random(4))
+        for i in range(n):
+            eng.submit(i * 0.001, (float(i),), "src")
+        # deliver the buffered arrivals to op0's queue without letting the
+        # (slow) operators chew through them
+        eng.run_until(0.1)
+        assert len(eng.queues["op0"]) > 0
+        return eng
+
+    def test_fraction_outside_unit_interval_rejected(self):
+        eng = self.make_backlogged_engine()
+        with pytest.raises(ValueError):
+            eng.shed_queue_fraction("op0", -0.1)
+        with pytest.raises(ValueError):
+            eng.shed_queue_fraction("op0", 1.1)
+
+    def test_fraction_zero_is_noop(self):
+        eng = self.make_backlogged_engine()
+        before = len(eng.queues["op0"])
+        assert eng.shed_queue_fraction("op0", 0.0) == 0
+        assert len(eng.queues["op0"]) == before
+
+    def test_fraction_one_empties_queue(self):
+        eng = self.make_backlogged_engine()
+        queued = len(eng.queues["op0"])
+        assert eng.shed_queue_fraction("op0", 1.0) == queued
+        assert len(eng.queues["op0"]) == 0
+
+    def test_count_larger_than_queue_clamps(self):
+        eng = self.make_backlogged_engine()
+        queued = len(eng.queues["op0"])
+        assert eng.shed_queue_count("op0", queued + 1000) == queued
+        assert len(eng.queues["op0"]) == 0
+
+    def test_negative_count_rejected(self):
+        eng = self.make_backlogged_engine()
+        with pytest.raises(ValueError):
+            eng.shed_queue_count("op0", -1)
+
+    def test_empty_queue_sheds_nothing(self):
+        eng = Engine(chain_network(2), rng=random.Random(4))
+        assert eng.shed_queue_fraction("op0", 0.5) == 0
+        assert eng.shed_queue_count("op0", 10) == 0
+
+    def test_victims_counted_as_shed_and_released_exactly_once(self):
+        eng = self.make_backlogged_engine()
+        departed_before = eng.departed_total  # served during the warm-up
+        eng.drain_departures()
+        queued = len(eng.queues["op0"])
+        victims = eng.shed_queue_count("op0", queued)
+        # each victim departs exactly once, flagged as shed
+        assert eng.shed_total == victims
+        assert eng.departed_total == departed_before + victims
+        deps = eng.drain_departures()
+        assert len(deps) == victims
+        assert all(d.shed for d in deps)
+        # the survivors process normally afterwards; total conservation
+        eng.run_until(100.0)
+        assert eng.outstanding == 0
+        assert eng.departed_total == eng.admitted_total
+        assert eng.shed_total == victims  # no double counting later
+
+    def test_discarded_lineage_departs_at_shed_time(self):
+        eng = self.make_backlogged_engine()
+        now = eng.now
+        eng.shed_queue_fraction("op0", 1.0)
+        deps = eng.drain_departures()
+        assert deps and all(d.departed == pytest.approx(now) for d in deps)
+
+
 class TestJoinLineage:
     def test_join_outputs_share_probe_lineage(self):
         net = QueryNetwork()

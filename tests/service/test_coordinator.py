@@ -1,0 +1,211 @@
+"""Coordinator rebalancing: sum preservation, clamping, drop-bound SLA."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.metrics.recorder import PeriodRecord
+from repro.service import HeadroomCoordinator
+from repro.service.coordinator import _bounded_shares
+
+
+class FakeShedder:
+    """Records the caps the coordinator applies."""
+
+    def __init__(self, requested_alpha):
+        self.requested_alpha = requested_alpha
+        self.alpha_cap = 1.0
+
+    def cap(self, alpha_cap):
+        self.alpha_cap = alpha_cap
+
+
+class FakeLoop:
+    period = 1.0
+
+
+class FakeShard:
+    """Duck-typed stand-in for EngineShard (observation + mutation points)."""
+
+    def __init__(self, headroom, base_target=2.0, requested_alpha=0.0):
+        self.headroom = headroom
+        self.base_target = base_target
+        self.target = base_target
+        self.loop = FakeLoop()
+        self._shedder = FakeShedder(requested_alpha)
+
+    @property
+    def requested_alpha(self):
+        return self._shedder.requested_alpha
+
+    @property
+    def alpha_cap(self):
+        return self._shedder.alpha_cap
+
+    def set_headroom(self, h):
+        self.headroom = h
+
+    def set_target(self, t):
+        self.target = t
+
+    def cap_alpha(self, cap):
+        self._shedder.cap(cap)
+
+
+def mk_period(delay_estimate=1.0, queue_length=50, offered=100, cost=1 / 190):
+    return PeriodRecord(
+        k=0, time=1.0, target=2.0, delay_estimate=delay_estimate,
+        queue_length=queue_length, cost=cost, inflow_rate=float(offered),
+        outflow_rate=float(offered), offered=offered, admitted=offered,
+        shed_retro=0, v=float(offered), u=float(offered), error=0.0,
+        alpha=0.0,
+    )
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(ServiceError):
+            HeadroomCoordinator(mode="psychic")
+
+    def test_gain_range(self):
+        with pytest.raises(ServiceError):
+            HeadroomCoordinator(gain=1.5)
+
+    def test_bounds_ordering(self):
+        with pytest.raises(ServiceError):
+            HeadroomCoordinator(headroom_floor=0.5, headroom_ceiling=0.4)
+
+    def test_loss_bound_range(self):
+        with pytest.raises(ServiceError):
+            HeadroomCoordinator(loss_bound=1.5)
+
+    def test_shard_period_mismatch(self):
+        coord = HeadroomCoordinator()
+        with pytest.raises(ServiceError):
+            coord.rebalance(0, [FakeShard(0.2)], [])
+
+
+class TestIndependentMode:
+    def test_touches_nothing(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        periods = [mk_period(delay_estimate=5.0, queue_length=500)
+                   for __ in range(4)]
+        coord = HeadroomCoordinator(mode="independent", gain=1.0)
+        coord.rebalance(0, shards, periods)
+        assert all(s.headroom == 0.2425 for s in shards)
+        assert all(s.target == 2.0 for s in shards)
+        assert len(coord.history) == 1
+
+
+class TestHeadroomMode:
+    def test_sum_preserved_and_stressed_shard_gains(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        total = sum(s.headroom for s in shards)
+        periods = [mk_period(offered=300, queue_length=400)] + [
+            mk_period(offered=50, queue_length=0) for __ in range(3)
+        ]
+        coord = HeadroomCoordinator(mode="headroom", gain=1.0)
+        coord.rebalance(0, shards, periods)
+        assert sum(s.headroom for s in shards) == pytest.approx(total)
+        assert shards[0].headroom > 0.2425
+        assert all(s.headroom < 0.2425 for s in shards[1:])
+
+    def test_gain_zero_is_noop(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        periods = [mk_period(offered=300)] + [mk_period(offered=10)] * 3
+        HeadroomCoordinator(mode="headroom", gain=0.0).rebalance(
+            0, shards, periods)
+        assert all(s.headroom == pytest.approx(0.2425) for s in shards)
+
+    def test_floor_respected_under_extreme_skew(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        total = sum(s.headroom for s in shards)
+        periods = [mk_period(offered=10000, queue_length=9000)] + [
+            mk_period(offered=0, queue_length=0) for __ in range(3)
+        ]
+        coord = HeadroomCoordinator(mode="headroom", gain=1.0,
+                                    headroom_floor=0.05)
+        coord.rebalance(0, shards, periods)
+        assert sum(s.headroom for s in shards) == pytest.approx(total)
+        for s in shards[1:]:
+            assert s.headroom >= 0.05 - 1e-9
+        assert shards[0].headroom <= coord.headroom_ceiling + 1e-9
+
+
+class TestTargetMode:
+    def test_budget_preserved_and_stressed_shard_tightened(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        budget = sum(s.base_target for s in shards)
+        periods = [mk_period(delay_estimate=4.0)] + [
+            mk_period(delay_estimate=0.2) for __ in range(3)
+        ]
+        HeadroomCoordinator(mode="target", gain=0.5).rebalance(
+            0, shards, periods)
+        assert sum(s.target for s in shards) == pytest.approx(budget)
+        # the shard running hot sheds earlier (tighter target); the slack
+        # shards park the freed budget
+        assert shards[0].target < 2.0
+        assert all(s.target > 2.0 for s in shards[1:])
+
+    def test_floor_respected(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        periods = [mk_period(delay_estimate=1000.0)] + [
+            mk_period(delay_estimate=0.0) for __ in range(3)
+        ]
+        coord = HeadroomCoordinator(mode="target", gain=1.0,
+                                    target_floor_fraction=0.25)
+        coord.rebalance(0, shards, periods)
+        assert shards[0].target >= 0.25 * 2.0 - 1e-9
+
+    def test_balanced_fleet_unchanged(self):
+        shards = [FakeShard(0.2425) for __ in range(4)]
+        periods = [mk_period(delay_estimate=1.5) for __ in range(4)]
+        HeadroomCoordinator(mode="target", gain=1.0).rebalance(
+            0, shards, periods)
+        assert all(s.target == pytest.approx(2.0) for s in shards)
+
+
+class TestDropBoundReconciliation:
+    def test_caps_scaled_when_fleet_exceeds_sla(self):
+        # both shards want to drop 40% of their inflow; the SLA allows 20%
+        shards = [FakeShard(0.2425, requested_alpha=0.4) for __ in range(2)]
+        periods = [mk_period(offered=100) for __ in range(2)]
+        coord = HeadroomCoordinator(mode="independent", loss_bound=0.2)
+        coord.rebalance(0, shards, periods)
+        for s in shards:
+            assert s.alpha_cap == pytest.approx(0.2)
+        # expected fleet drop now meets the bound exactly
+        expected = sum(s.alpha_cap * 100 for s in shards)
+        assert expected == pytest.approx(0.2 * 200)
+
+    def test_caps_lifted_inside_sla(self):
+        shards = [FakeShard(0.2425, requested_alpha=0.05) for __ in range(2)]
+        for s in shards:
+            s.cap_alpha(0.1)  # stale cap from an earlier period
+        periods = [mk_period(offered=100) for __ in range(2)]
+        HeadroomCoordinator(mode="independent", loss_bound=0.2).rebalance(
+            0, shards, periods)
+        assert all(s.alpha_cap == 1.0 for s in shards)
+
+    def test_zero_inflow_is_noop(self):
+        shards = [FakeShard(0.2425, requested_alpha=0.9)]
+        periods = [mk_period(offered=0)]
+        HeadroomCoordinator(mode="independent", loss_bound=0.0).rebalance(
+            0, shards, periods)
+        assert shards[0].alpha_cap == 1.0
+
+
+class TestBoundedShares:
+    def test_identity_when_feasible(self):
+        shares = [0.3, 0.4, 0.27]
+        out = _bounded_shares(shares, 0.02, 0.97, sum(shares))
+        assert out == pytest.approx(shares)
+
+    def test_clamps_and_preserves_sum(self):
+        shares = [0.9, 0.05, 0.02]
+        out = _bounded_shares(shares, 0.1, 0.5, sum(shares))
+        assert sum(out) == pytest.approx(sum(shares))
+        assert all(0.1 - 1e-9 <= x <= 0.5 + 1e-9 for x in out)
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ServiceError):
+            _bounded_shares([0.5, 0.5], 0.4, 0.45, 1.0)

@@ -1,0 +1,115 @@
+"""Stream router: stable hashing, explicit pinning, partitioning."""
+
+import zlib
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ExplicitRouter, HashRouter, StreamRouter, make_router
+
+
+def arrivals_for(sources, per_source=3):
+    """A time-ordered arrival list cycling through ``sources``."""
+    out = []
+    t = 0.0
+    for i in range(per_source):
+        for s in sources:
+            out.append((t, (0.5, 0.5, 0.5, 0.5), s))
+            t += 0.1
+    return out
+
+
+class TestHashRouter:
+    def test_mapping_is_crc32_mod_shards(self):
+        router = HashRouter(4)
+        for name in ("s0", "alpha", "sensor-17", ""):
+            assert router.shard_of(name) == zlib.crc32(
+                name.encode("utf-8")) % 4
+
+    def test_mapping_stable_across_instances(self):
+        a, b = HashRouter(8), HashRouter(8)
+        names = [f"src{i}" for i in range(50)]
+        assert [a.shard_of(n) for n in names] == [b.shard_of(n) for n in names]
+
+    def test_all_sources_of_one_name_land_on_one_shard(self):
+        router = HashRouter(3)
+        parts = router.partition(arrivals_for(["a", "b", "c", "d"], 5))
+        for part in parts:
+            # within one shard, every source's tuples are all there or none
+            by_source = {}
+            for __, __, s in part:
+                by_source[s] = by_source.get(s, 0) + 1
+            for count in by_source.values():
+                assert count == 5
+
+    def test_partition_preserves_time_order(self):
+        router = HashRouter(2)
+        parts = router.partition(arrivals_for(["a", "b", "c"], 10))
+        for part in parts:
+            times = [t for t, __, __ in part]
+            assert times == sorted(times)
+
+    def test_single_shard_gets_everything(self):
+        router = HashRouter(1)
+        arr = arrivals_for(["x", "y"], 4)
+        assert router.partition(arr) == [arr]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ServiceError):
+            HashRouter(0)
+
+
+class TestExplicitRouter:
+    def test_pinning_followed(self):
+        router = ExplicitRouter({"hot": 0, "a": 1, "b": 1})
+        assert router.n_shards == 2
+        assert router.shard_of("hot") == 0
+        assert router.shard_of("b") == 1
+
+    def test_unknown_source_rejected(self):
+        router = ExplicitRouter({"a": 0})
+        with pytest.raises(ServiceError):
+            router.shard_of("mystery")
+
+    def test_unknown_source_rejected_during_partition(self):
+        router = ExplicitRouter({"a": 0})
+        with pytest.raises(ServiceError):
+            router.partition([(0.0, (1,), "mystery")])
+
+    def test_assignment_outside_shard_range_rejected(self):
+        with pytest.raises(ServiceError):
+            ExplicitRouter({"a": 5}, n_shards=2)
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ServiceError):
+            ExplicitRouter({})
+
+    def test_explicit_n_shards_allows_spares(self):
+        router = ExplicitRouter({"a": 0}, n_shards=4)
+        parts = router.partition(arrivals_for(["a"], 2))
+        assert [len(p) for p in parts] == [2, 0, 0, 0]
+
+
+class TestMakeRouter:
+    def test_specs(self):
+        assert isinstance(make_router("hash", 3), HashRouter)
+        explicit = make_router("explicit", 2, {"a": 0, "b": 1})
+        assert isinstance(explicit, ExplicitRouter)
+
+    def test_explicit_without_table_rejected(self):
+        with pytest.raises(ServiceError):
+            make_router("explicit", 2)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ServiceError):
+            make_router("range", 2)
+
+
+class TestRangeCheck:
+    def test_out_of_range_mapping_caught(self):
+        class BadRouter(StreamRouter):
+            def shard_of(self, source):
+                return self.n_shards  # off by one
+
+        with pytest.raises(ServiceError):
+            BadRouter(2).partition([(0.0, (1,), "s")])

@@ -1,0 +1,199 @@
+"""The sharded service end to end: lockstep run, coordination, export.
+
+The acceptance scenario of the service layer lives here: four shards, one
+hotspot source at three times the regular load, and the claim that the
+coordinator's headroom rebalancing achieves a lower worst-shard delay
+violation than running the same four loops independently.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments import (
+    ExperimentConfig,
+    Job,
+    build_service_workload,
+    run_service_experiment,
+    service_comparison,
+)
+from repro.metrics.export import load_json
+from repro.service import (
+    ServiceConfig,
+    StreamService,
+    build_service,
+    make_router,
+)
+from repro.shedding import BoundedEntryShedder
+
+CFG = ExperimentConfig(duration=120.0, seed=11)
+SVC = ServiceConfig()  # 4 shards, 4 sources, hotspot x3 on s0
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One skewed run per mode, shared by the assertions below."""
+    return {
+        mode: run_service_experiment(CFG, SVC.with_mode(mode))
+        for mode in ("independent", "headroom", "target")
+    }
+
+
+class TestAcceptance:
+    def test_coordination_beats_independent_on_worst_shard(self, comparison):
+        """The PR's core claim, asserted on the canonical skewed scenario."""
+        worst = {mode: res.worst_shard("accumulated_violation")[1]
+                 for mode, res in comparison.items()}
+        assert worst["independent"] > 0, (
+            "the hotspot must overload its shard under independent loops"
+        )
+        assert worst["headroom"] < worst["independent"]
+        assert worst["target"] < worst["independent"]
+
+    def test_hotspot_shard_is_the_one_overloaded(self, comparison):
+        name, __ = comparison["independent"].worst_shard()
+        # s0 (the hotspot) is pinned round-robin onto shard0
+        assert name == "shard0"
+
+    def test_headroom_moves_cpu_toward_hotspot(self, comparison):
+        history = comparison["headroom"].coordinator_history
+        final = history[-1]["headroom"]
+        equal = SVC.total_headroom / SVC.n_shards
+        assert final[0] > equal
+        assert sum(final) == pytest.approx(SVC.total_headroom)
+
+    def test_per_shard_records_cover_every_period(self, comparison):
+        n = int(CFG.duration / CFG.period)
+        for res in comparison.values():
+            assert set(res.shard_records) == set(SVC.shard_names)
+            for rec in res.shard_records.values():
+                assert len(rec.periods) == n
+
+    def test_aggregate_record_sums_offered(self, comparison):
+        res = comparison["independent"]
+        agg = res.aggregate
+        assert agg.offered_total == sum(
+            r.offered_total for r in res.shard_records.values())
+        assert len(agg.periods) == int(CFG.duration / CFG.period)
+
+    def test_export_through_existing_helpers(self, comparison, tmp_path):
+        paths = comparison["headroom"].export(tmp_path / "svc")
+        names = {p.name for p in paths}
+        assert names == {f"{n}.json" for n in SVC.shard_names} | {
+            "aggregate.json"}
+        doc = load_json(tmp_path / "svc" / "aggregate.json")
+        assert doc["offered_total"] == comparison[
+            "headroom"].aggregate.offered_total
+        assert "drain_truncated" in doc
+        assert "qos" in doc and "loss_ratio" in doc["qos"]
+
+
+class TestComparisonDriver:
+    def test_service_jobs_fan_out(self):
+        cfg = ExperimentConfig(duration=40.0, seed=5)
+        comp = service_comparison(cfg, SVC, workers=2)
+        assert set(comp.results) == {"independent", "headroom"}
+        violations = comp.worst_shard_violation()
+        assert set(violations) == {"independent", "headroom"}
+        assert comp.coordination_gain() >= 1.0
+
+    def test_pool_and_serial_runs_agree(self):
+        cfg = ExperimentConfig(duration=40.0, seed=5)
+        pooled = service_comparison(cfg, SVC, modes=("headroom",),
+                                    workers=2).results["headroom"]
+        serial = run_service_experiment(cfg, SVC.with_mode("headroom"))
+        for name in pooled.shard_records:
+            assert (pooled.shard_records[name].periods
+                    == serial.shard_records[name].periods)
+
+    def test_service_job_requires_workload_kind(self):
+        from repro.errors import ExperimentError
+        from repro.workloads import constant_rate
+        with pytest.raises(ExperimentError):
+            Job(config=CFG, workload=constant_rate(100.0, 10), service=SVC)
+
+    def test_workload_has_hotspot_mass(self):
+        arrivals = build_service_workload(CFG, SVC)
+        counts = {}
+        for __, __, source in arrivals:
+            counts[source] = counts.get(source, 0) + 1
+        hot = counts["s0"]
+        regular = [counts[s] for s in ("s1", "s2", "s3")]
+        for r in regular:
+            assert hot == pytest.approx(SVC.hotspot_factor * r, rel=0.15)
+
+
+class TestServiceConstruction:
+    def test_build_service_shape(self):
+        service = build_service(CFG, SVC)
+        assert len(service.shards) == SVC.n_shards
+        assert service.period == CFG.period
+        headrooms = [s.headroom for s in service.shards]
+        assert sum(headrooms) == pytest.approx(SVC.total_headroom)
+
+    def test_router_shard_count_mismatch_rejected(self):
+        service = build_service(CFG, SVC)
+        with pytest.raises(ServiceError):
+            StreamService(service.shards, make_router("hash", 2),
+                          service.coordinator)
+
+    def test_duplicate_shard_names_rejected(self):
+        service = build_service(CFG, SVC)
+        shards = list(service.shards)
+        shards[1] = shards[0]
+        with pytest.raises(ServiceError):
+            StreamService(shards, service.router, service.coordinator)
+
+    def test_non_positive_duration_rejected(self):
+        service = build_service(CFG, SVC)
+        with pytest.raises(ServiceError):
+            service.run([], 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(n_shards=0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(hotspot_index=9)
+        with pytest.raises(ServiceError):
+            ServiceConfig(total_headroom=1.5)
+        with pytest.raises(ServiceError):
+            # equal split 0.97/64 falls below the default floor
+            ServiceConfig(n_shards=64)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ServiceError):
+            build_service(CFG, ServiceConfig(strategy="MAGIC"))
+
+
+class TestBoundedEntryShedder:
+    def test_cap_bounds_armed_alpha(self):
+        shedder = BoundedEntryShedder(random.Random(0), alpha_cap=0.25)
+        shedder.set_allowance(10.0, 100.0)  # wants to drop 90%
+        assert shedder.requested_alpha == pytest.approx(0.9)
+        assert shedder.alpha == pytest.approx(0.25)
+
+    def test_cap_recalculates_current_alpha(self):
+        shedder = BoundedEntryShedder(random.Random(0))
+        shedder.set_allowance(10.0, 100.0)
+        assert shedder.alpha == pytest.approx(0.9)
+        shedder.cap(0.5)
+        assert shedder.alpha == pytest.approx(0.5)
+        shedder.cap(1.0)  # lifting the cap restores the controller's wish
+        assert shedder.alpha == pytest.approx(0.9)
+
+    def test_invalid_cap_rejected(self):
+        from repro.errors import SheddingError
+        with pytest.raises(SheddingError):
+            BoundedEntryShedder(alpha_cap=1.5)
+        with pytest.raises(SheddingError):
+            BoundedEntryShedder().cap(-0.1)
+
+    def test_loss_bound_respected_end_to_end(self):
+        """With a global drop SLA the fleet's realized loss stays near it."""
+        cfg = ExperimentConfig(duration=80.0, seed=7)
+        svc = ServiceConfig(mode="independent", loss_bound=0.05,
+                            per_source_rate=60.0)
+        res = run_service_experiment(cfg, svc)
+        qos = res.aggregate_qos()
+        assert qos.loss_ratio <= 0.05 + 0.03  # SLA plus sampling noise
