@@ -11,7 +11,11 @@ history). Three sections:
 * ``control_loop`` — closed-loop CTRL control cycles/second, i.e. the full
   monitor -> controller -> actuator stack including the engine;
 * ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
-  (strategies x workloads) run serially vs. via the process pool.
+  (strategies x workloads) run serially vs. via the process pool;
+* ``grid_sweep`` — the Fig. 19-style tuning grid (control periods x delay
+  targets, 400 s runs) on the vectorized batch backend vs. the scalar
+  ``VirtualQueueEngine`` path, including a full QoS cross-check: violation
+  time and loss ratio must agree within 1% on every grid point.
 
 Usage::
 
@@ -35,7 +39,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.dsms import DepthFirstScheduler, Engine, identification_network  # noqa: E402
+from repro.dsms import DepthFirstScheduler, identification_network, make_engine  # noqa: E402
 from repro.experiments import (  # noqa: E402
     ExperimentConfig,
     Job,
@@ -64,7 +68,7 @@ def overload_arrivals(n_tuples: int, rate: float, seed: int = 0):
 def bench_engine_throughput(n_tuples: int, legacy: bool) -> dict:
     """Drive the engine at ~2x capacity and measure tuples/second."""
     net = identification_network()
-    engine = Engine(net)
+    engine = make_engine("full", network=net)
     if legacy:
         # reconstruct the pre-optimization hot path: an unbound scheduler
         # forces the per-tuple topological scan, and an explicit constant
@@ -99,6 +103,62 @@ def bench_control_loop(duration: float) -> dict:
         "wall_seconds": round(wall, 4),
         "cycles_per_second": round(len(record.periods) / wall, 1),
         "sim_duration_seconds": duration,
+    }
+
+
+def bench_grid_sweep(duration: float) -> dict:
+    """Fig. 19-style tuning grid: batch backend vs scalar engine path.
+
+    Both paths consume the same disk-cached arrival traces (pre-warmed off
+    the clock, the steady state the trace cache exists to provide), so the
+    comparison measures simulation cost, not workload generation.
+    """
+    from repro.experiments.batch_sweep import (
+        GridPoint,
+        _point_inputs,
+        run_batch_grid,
+        scalar_reference,
+    )
+
+    periods = (0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+    targets = (1.0, 1.5, 2.0, 3.0, 4.0)
+    points = [
+        GridPoint(config=ExperimentConfig(period=t, duration=duration),
+                  strategy="CTRL", workload_kind="web", target=yd,
+                  key=f"T={t}/yd={yd}")
+        for t in periods for yd in targets
+    ]
+    for t in periods:  # warm the on-disk arrival cache for both paths
+        _point_inputs(points[len(targets) * periods.index(t)])
+
+    start = time.perf_counter()
+    results = run_batch_grid(points)
+    batch_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar = [scalar_reference(p)[0] for p in points]
+    scalar_wall = time.perf_counter() - start
+
+    worst_violation_err = 0.0
+    worst_loss_err = 0.0
+    for res, ref in zip(results, scalar):
+        denom = max(abs(ref.accumulated_violation), 1.0)
+        worst_violation_err = max(
+            worst_violation_err,
+            abs(res.qos.accumulated_violation - ref.accumulated_violation)
+            / denom)
+        worst_loss_err = max(
+            worst_loss_err, abs(res.qos.loss_ratio - ref.loss_ratio))
+    return {
+        "grid_points": len(points),
+        "sim_duration_seconds": duration,
+        "batch_wall_seconds": round(batch_wall, 4),
+        "scalar_wall_seconds": round(scalar_wall, 4),
+        "speedup": round(scalar_wall / batch_wall, 2),
+        "worst_violation_err": round(worst_violation_err, 5),
+        "worst_loss_err": round(worst_loss_err, 5),
+        "cross_check_within_1pct": bool(worst_violation_err <= 0.01
+                                        and worst_loss_err <= 0.01),
     }
 
 
@@ -157,6 +217,9 @@ def main(argv=None) -> int:
           f"{len(STRATEGIES) * len(WORKLOADS)} jobs, "
           f"{workers} workers)...", flush=True)
     fanout = bench_figure_fanout(fanout_duration, workers)
+    print("grid sweep (9 periods x 5 targets, batch vs scalar)...",
+          flush=True)
+    grid = bench_grid_sweep(400.0)
 
     report = {
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -172,6 +235,7 @@ def main(argv=None) -> int:
         },
         "control_loop": loop,
         "figure_fanout": fanout,
+        "grid_sweep": grid,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -182,6 +246,12 @@ def main(argv=None) -> int:
         failures.append("parallel records diverged from serial records")
     if report["engine_throughput"]["single_process_speedup"] < 1.0:
         failures.append("optimized engine slower than the legacy path")
+    if not grid["cross_check_within_1pct"]:
+        failures.append(
+            "batch grid sweep diverged from the scalar engine by more "
+            f"than 1% (violation err {grid['worst_violation_err']}, "
+            f"loss err {grid['worst_loss_err']})"
+        )
     for failure in failures:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
     return 1 if failures else 0

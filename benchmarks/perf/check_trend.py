@@ -7,6 +7,8 @@ metric fails the build:
 
 * ``engine_throughput.after_optimized.tuples_per_second``
 * ``control_loop.cycles_per_second``
+* ``grid_sweep.speedup`` (batch backend vs scalar engine on the Fig. 19
+  tuning grid)
 
 Throughput *gains* never fail; CI runners are noisy, so the tolerance is
 deliberately loose — the check exists to catch order-of-magnitude
@@ -31,6 +33,7 @@ from pathlib import Path
 METRICS = (
     "engine_throughput.after_optimized.tuples_per_second",
     "control_loop.cycles_per_second",
+    "grid_sweep.speedup",
 )
 
 

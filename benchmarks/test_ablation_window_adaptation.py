@@ -19,7 +19,8 @@ from repro.core import (
     PolePlacementController,
     WindowAdaptationActuator,
 )
-from repro.dsms import Engine, MapOperator, QueryNetwork, Sink, WindowJoinOperator
+from repro.dsms import (MapOperator, QueryNetwork, Sink, WindowJoinOperator,
+                        make_engine)
 from repro.metrics.report import format_table
 
 BASE = 0.002       # fixed per-tuple cost (s)
@@ -54,7 +55,8 @@ def arrivals(seed):
 
 def run(actuator_factory):
     net, join = build()
-    engine = Engine(net, headroom=0.97, rng=random.Random(1))
+    engine = make_engine("full", network=net, headroom=0.97,
+                         rng=random.Random(1))
     model = DsmsModel(cost=0.004, headroom=0.97, period=1.0)
     monitor = Monitor(engine, model, cost_estimator=EwmaEstimator(0.004, 0.3))
     loop = ControlLoop(engine, PolePlacementController(model), monitor,

@@ -24,7 +24,7 @@ from repro.core import (
     Monitor,
     PolePlacementController,
 )
-from repro.dsms import Engine, chain_network
+from repro.dsms import chain_network, make_engine
 from repro.metrics.report import ascii_series, format_table
 from repro.workloads import RateTrace, arrivals_from_trace
 
@@ -63,7 +63,8 @@ def news_cost_multiplier(t: float) -> float:
 
 def run(controller_cls):
     network = chain_network(n_operators=6, capacity=CAPACITY)
-    engine = Engine(network, headroom=0.97, rng=random.Random(2),
+    engine = make_engine("full", network=network, headroom=0.97,
+                         rng=random.Random(2),
                     cost_multiplier=news_cost_multiplier)
     model = DsmsModel(cost=1.0 / CAPACITY, headroom=0.97, period=0.5)
     monitor = Monitor(engine, model,

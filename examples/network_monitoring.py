@@ -23,7 +23,7 @@ from repro.core import (
     Monitor,
     PolePlacementController,
 )
-from repro.dsms import Engine, monitoring_network
+from repro.dsms import make_engine, monitoring_network
 from repro.workloads import merge_arrivals, piecewise_rate
 
 ALERT_DEADLINE = 1.0   # seconds: alerts older than this are useless
@@ -64,7 +64,8 @@ class AdmitEverything(Controller):
 
 def run(controlled: bool):
     network = monitoring_network(capacity=CAPACITY)
-    engine = Engine(network, headroom=0.97, rng=random.Random(1))
+    engine = make_engine("full", network=network, headroom=0.97,
+                         rng=random.Random(1))
     model = DsmsModel(cost=1.0 / CAPACITY, headroom=0.97, period=0.5)
     monitor = Monitor(engine, model,
                       cost_estimator=EwmaEstimator(model.cost, 0.2))

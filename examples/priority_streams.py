@@ -22,7 +22,7 @@ from repro.core import (
     PriorityEntryActuator,
     SemanticEntryActuator,
 )
-from repro.dsms import Engine, MapOperator, QueryNetwork
+from repro.dsms import MapOperator, QueryNetwork, make_engine
 from repro.metrics.report import format_table
 from repro.shedding import PriorityEntryShedder, SemanticEntryShedder
 from repro.workloads import merge_arrivals
@@ -57,7 +57,8 @@ def tier_arrivals(seed: int):
 
 
 def run(actuator):
-    engine = Engine(build_network(), headroom=0.97, rng=random.Random(1))
+    engine = make_engine("full", network=build_network(), headroom=0.97,
+                         rng=random.Random(1))
     model = DsmsModel(cost=1.0 / CAPACITY, headroom=0.97, period=1.0)
     monitor = Monitor(engine, model,
                       cost_estimator=EwmaEstimator(model.cost, 0.2))

@@ -19,7 +19,7 @@ from repro.core import (
     Monitor,
     PolePlacementController,
 )
-from repro.dsms import Engine, identification_network
+from repro.dsms import identification_network, make_engine
 from repro.metrics.report import ascii_series
 from repro.workloads import arrivals_from_trace, pareto_rate_trace_with_mean
 
@@ -32,7 +32,8 @@ DURATION = 120.0        # seconds of simulated time
 def main() -> None:
     # 1. The plant: a Borealis-like engine running a 14-operator network.
     network = identification_network(capacity=CAPACITY)
-    engine = Engine(network, headroom=HEADROOM, rng=random.Random(0))
+    engine = make_engine("full", network=network, headroom=HEADROOM,
+                         rng=random.Random(0))
 
     # 2. The model the controller is designed against (paper Eq. 2/4).
     model = DsmsModel(cost=1.0 / CAPACITY, headroom=HEADROOM, period=1.0)

@@ -52,7 +52,8 @@ class ControlLoop:
                  period: float = 1.0,
                  cycle_cost: float = 0.0,
                  predictor: Optional[ArrivalPredictor] = None,
-                 drain_max_extra: float = 600.0):
+                 drain_max_extra: float = 600.0,
+                 charge_cycle_within_period: bool = False):
         if period <= 0:
             raise ExperimentError(f"control period must be positive, got {period}")
         if cycle_cost < 0:
@@ -74,6 +75,13 @@ class ControlLoop:
         #: extra virtual seconds the end-of-run drain may spend emptying the
         #: backlog before giving up (the run record notes a truncated drain)
         self.drain_max_extra = drain_max_extra
+        #: charge the cycle overhead *inside* the period (stop serving
+        #: cycle_cost/H early) instead of after the boundary. The default
+        #: (False, the historical behavior) lets the overhead creep the
+        #: engine clock past each boundary; the in-period mode keeps the
+        #: clock exactly on the period grid, which the batch sweep
+        #: cross-check relies on to compare trajectories point-for-point.
+        self.charge_cycle_within_period = charge_cycle_within_period
         self._target = target
 
     def target_at(self, k: int) -> float:
@@ -111,11 +119,16 @@ class ControlLoop:
         boundary = (k + 1) * self.period
         offered = 0
         admitted = 0
+        # engines that integrate whole spans at once (BatchFluidEngine)
+        # ask for bulk submission: skip the per-arrival clock advance,
+        # which only exists so *in-network* actuators see live queue state
+        bulk = (getattr(self.engine, "prefers_bulk_submit", False)
+                and self.actuator.drops_outside_engine)
         for t, values, source in arrivals:
             # advance the engine to the arrival instant so in-network
             # actuators cull against the queue state the tuple actually
             # meets (entry actuators are indifferent to this)
-            if t > self.engine.now:
+            if not bulk and t > self.engine.now:
                 self.engine.run_until(t)
             offered += 1
             if self.actuator.admit(values, source):
@@ -127,11 +140,19 @@ class ControlLoop:
                 now = getattr(self.engine, "now", t_submit)
                 self.engine.submit(max(t_submit, now), values, source)
                 admitted += 1
-        # the engine may already sit past the boundary (it finishes the
-        # tuple in service, and the cycle overhead advances the clock)
-        self.engine.run_until(max(boundary, self.engine.now))
-        if self.cycle_cost:
+        if self.cycle_cost and self.charge_cycle_within_period:
+            # reserve the overhead inside the period so the clock lands
+            # exactly on the boundary instead of creeping past it
+            pre = boundary - self.cycle_cost / self.engine.headroom
+            self.engine.run_until(max(pre, self.engine.now))
             self.engine.consume_cpu(self.cycle_cost)
+            self.engine.run_until(max(boundary, self.engine.now))
+        else:
+            # the engine may already sit past the boundary (it finishes the
+            # tuple in service, and the cycle overhead advances the clock)
+            self.engine.run_until(max(boundary, self.engine.now))
+            if self.cycle_cost:
+                self.engine.consume_cpu(self.cycle_cost)
         shed_retro = self.actuator.end_period(admitted)
         m = self.monitor.measure()
         target = self.target_at(k)

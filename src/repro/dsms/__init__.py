@@ -8,6 +8,7 @@ headroom factor. :class:`VirtualQueueEngine` is the fast single-FIFO model
 (the paper's Eq. 2 abstraction) sharing the same interface.
 """
 
+from .batch import BatchFluidEngine, FluidLanes, HAVE_NUMPY, require_numpy
 from .builder import (
     DEFAULT_CAPACITY,
     chain_network,
@@ -16,9 +17,11 @@ from .builder import (
     monitoring_network,
 )
 from .catalog import Catalog, OperatorStats, PeriodStats, Snapshot
-from .engine import Departure, Engine
+from .engine import Departure, Engine, LateArrivalWarning
+from .factory import BACKENDS, available_backends, make_engine, register_backend
 from .fluid import VirtualQueueEngine
 from .network import QueryNetwork
+from .protocol import EngineProtocol
 from .operators import (
     AggregateOperator,
     FilterOperator,
@@ -40,12 +43,18 @@ from .tuple_ import Lineage, StreamTuple, make_source_tuple
 
 __all__ = [
     "AggregateOperator",
+    "BACKENDS",
+    "BatchFluidEngine",
     "Catalog",
     "DEFAULT_CAPACITY",
     "Departure",
     "DepthFirstScheduler",
     "Engine",
+    "EngineProtocol",
     "FilterOperator",
+    "FluidLanes",
+    "HAVE_NUMPY",
+    "LateArrivalWarning",
     "Lineage",
     "MapOperator",
     "Operator",
@@ -63,9 +72,12 @@ __all__ = [
     "UnionOperator",
     "VirtualQueueEngine",
     "WindowJoinOperator",
+    "available_backends",
     "chain_network",
     "expected_identification_cost",
     "identification_network",
+    "make_engine",
     "make_source_tuple",
     "monitoring_network",
+    "register_backend",
 ]

@@ -1,0 +1,378 @@
+"""Vectorized fluid engine backend.
+
+Two layers live here. :class:`FluidLanes` is the numpy kernel: ``G``
+independent Eq. 2 virtual queues ("lanes") advanced one control period per
+call with pure array math, plus a closed-form :meth:`FluidLanes.integrate`
+that runs *whole traces* for a whole grid of configurations in a handful of
+array ops (the Lindley recursion ``q_k = max(0, q_{k-1} + a_k - cap_k)``
+unrolled via ``cumsum`` + ``minimum.accumulate``).
+
+:class:`BatchFluidEngine` wraps the same fluid model in the scalar
+:class:`~repro.dsms.protocol.EngineProtocol` surface so monitors, actuators
+and the control loop can drive it like any other backend. Unlike
+:class:`~repro.dsms.fluid.VirtualQueueEngine` it does not serve tuple by
+tuple: each ``run_until`` span integrates the fluid model over the span in
+O(1) and then emits integer :class:`~repro.dsms.engine.Departure` records by
+interpolating the cumulative-service curve — see THEORY.md §8 for why this
+is exact for the Eq. 2 model when rates are piecewise-constant within a
+span. It advertises ``prefers_bulk_submit`` so the control loop hands it a
+whole period of arrivals at once instead of advancing per arrival.
+
+numpy is optional (the ``repro[fast]`` extra); importing this module
+without it is fine, constructing the classes is not.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..errors import BackendError, SchedulingError
+from .engine import Departure, LateArrivalWarning
+
+try:  # pragma: no cover - exercised implicitly by every test below
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+def require_numpy() -> None:
+    """Raise :class:`~repro.errors.BackendError` when numpy is missing."""
+    if not HAVE_NUMPY:
+        raise BackendError(
+            "the 'batch' engine backend requires numpy; install the fast "
+            "extra: pip install 'repro[fast]'"
+        )
+
+
+class FluidLanes:
+    """A stacked grid of Eq. 2 virtual queues advanced with array math.
+
+    Each of the ``n_lanes`` lanes is one (config, trace) point of a sweep
+    grid. State is held as float arrays: queue length ``q`` (tuples),
+    cumulative ``admitted``/``departed``/``shed`` and ``cpu_used``. The
+    driver calls :meth:`run_period` once per control period with the
+    per-lane offered tuple counts and CPU budgets; everything inside is a
+    few vector ops, so grid size is near-free.
+    """
+
+    def __init__(self, n_lanes: int, cost, headroom=0.97):
+        require_numpy()
+        if n_lanes <= 0:
+            raise SchedulingError(f"need at least one lane, got {n_lanes}")
+        self.n_lanes = int(n_lanes)
+        self.cost = _np.broadcast_to(
+            _np.asarray(cost, dtype=float), (self.n_lanes,)).copy()
+        self.headroom = _np.broadcast_to(
+            _np.asarray(headroom, dtype=float), (self.n_lanes,)).copy()
+        if _np.any(self.cost <= 0):
+            raise SchedulingError("per-tuple cost must be positive")
+        if _np.any((self.headroom <= 0) | (self.headroom > 1.0)):
+            raise SchedulingError("headroom must be in (0, 1]")
+        self.q = _np.zeros(self.n_lanes)
+        self.admitted = _np.zeros(self.n_lanes)
+        self.departed = _np.zeros(self.n_lanes)
+        self.shed = _np.zeros(self.n_lanes)
+        self.cpu_used = _np.zeros(self.n_lanes)
+
+    def run_period(self, offered, cpu_seconds, cost=None):
+        """Advance every lane one period; return tuples served per lane.
+
+        ``offered`` is the admitted arrival count per lane for the period,
+        ``cpu_seconds`` the CPU budget available to query processing (the
+        caller has already taken headroom and overhead out of it), and
+        ``cost`` the per-tuple CPU cost for the period (defaults to the
+        lanes' base cost).
+        """
+        offered = _np.asarray(offered, dtype=float)
+        cpu_seconds = _np.asarray(cpu_seconds, dtype=float)
+        cost_now = self.cost if cost is None else _np.asarray(cost, dtype=float)
+        cap = cpu_seconds / cost_now
+        backlog = self.q + offered
+        q_new = _np.maximum(0.0, backlog - cap)
+        served = backlog - q_new
+        self.q = q_new
+        self.admitted += offered
+        self.departed += served
+        self.cpu_used += served * cost_now
+        return served
+
+    def drop(self, counts):
+        """Shed up to ``counts`` queued tuples per lane; return the drops.
+
+        Mirrors the scalar engines' bookkeeping: dropped tuples count as
+        departed *and* shed.
+        """
+        counts = _np.asarray(counts, dtype=float)
+        dropped = _np.minimum(_np.maximum(counts, 0.0), self.q)
+        self.q -= dropped
+        self.shed += dropped
+        self.departed += dropped
+        return dropped
+
+    @staticmethod
+    def integrate(offered, caps, q0=0.0):
+        """Closed-form Eq. 2 trajectories for whole stacked traces.
+
+        ``offered`` and ``caps`` are arrays of per-period arrival counts and
+        service capacities (tuples) with the period axis last; leading axes
+        enumerate grid points. Returns ``(q, served)`` with the same shape:
+        the queue length at each period *end* and the tuples served in each
+        period, computed without a Python loop via the Lindley recursion
+
+        ``q_k = S_k - min(0, min_{j<=k} S_j)``, ``S_k = q_0 + cumsum(a - cap)``.
+        """
+        require_numpy()
+        offered = _np.asarray(offered, dtype=float)
+        caps = _np.broadcast_to(_np.asarray(caps, dtype=float), offered.shape)
+        q0a = _np.asarray(q0, dtype=float)
+        if q0a.ndim:
+            q0a = q0a[..., None]
+        s = _np.cumsum(offered - caps, axis=-1) + q0a
+        m = _np.minimum.accumulate(_np.minimum(s, 0.0), axis=-1)
+        q = s - m
+        prev = _np.concatenate(
+            [_np.broadcast_to(q0a, q[..., :1].shape), q[..., :-1]], axis=-1)
+        served = prev + offered - q
+        return q, served
+
+
+class BatchFluidEngine:
+    """Span-integrating fluid engine behind the scalar engine protocol.
+
+    Functionally equivalent to
+    :class:`~repro.dsms.fluid.VirtualQueueEngine` (same virtual FIFO, same
+    counters) but integrates each ``run_until`` span in O(1) instead of
+    looping per tuple, treating within-span arrivals as a uniform fluid
+    inflow. ``multiplier_period`` declares the granularity at which
+    ``cost_multiplier`` is piecewise-constant (a cost trace's period);
+    spans are split on that grid so the varying cost is sampled exactly.
+    """
+
+    #: the control loop may submit a whole period at once and skip the
+    #: per-arrival clock advance — this engine bins arrivals anyway
+    prefers_bulk_submit = True
+
+    def __init__(self, cost: float = 1.0 / 190.0,
+                 headroom: float = 0.97,
+                 cost_multiplier: Optional[Callable[[float], float]] = None,
+                 multiplier_period: Optional[float] = None):
+        require_numpy()
+        if cost <= 0:
+            raise SchedulingError(f"per-tuple cost must be positive, got {cost}")
+        if not 0.0 < headroom <= 1.0:
+            raise SchedulingError(f"headroom must be in (0, 1], got {headroom}")
+        if multiplier_period is not None and multiplier_period <= 0:
+            raise SchedulingError("multiplier_period must be positive")
+        self.base_cost = float(cost)
+        self.headroom = float(headroom)
+        self.cost_multiplier = cost_multiplier or (lambda t: 1.0)
+        self.multiplier_period = multiplier_period
+
+        self.now = 0.0
+        self._pending: Deque[float] = deque()  # submitted, not yet admitted
+        self._queue: Deque[float] = deque()    # admitted arrival timestamps
+        self._served = 0.0        # lifetime fractional tuples served
+        self._completions = 0     # lifetime whole service completions
+        self._last_departure = 0.0
+        self.admitted_total = 0
+        self.departed_total = 0
+        self.shed_total = 0
+        self.late_arrivals = 0
+        self.cpu_used = 0.0
+        self._late_warned = False
+        self._departures: List[Departure] = []
+
+    # ------------------------------------------------------------------ #
+    # interface shared with the other engines
+    # ------------------------------------------------------------------ #
+    def submit(self, time: float, values: Tuple = (), source: str = "in") -> None:
+        """Buffer one arrival; timestamps must be non-decreasing.
+
+        As in the fluid engine, ``values``/``source`` carry no information
+        in the single-FIFO model and are intentionally ignored.
+        """
+        if time < self.now:
+            self.late_arrivals += 1
+            if not self._late_warned:
+                self._late_warned = True
+                warnings.warn(
+                    f"arrival submitted at t={time:.6f} while the engine "
+                    f"clock is already at t={self.now:.6f}; rewriting to "
+                    "'now' (reported once per run; see "
+                    "BatchFluidEngine.late_arrivals for the total count)",
+                    LateArrivalWarning,
+                    stacklevel=2,
+                )
+            time = self.now  # late submission: arrives "now"
+        if self._pending and time < self._pending[-1]:
+            raise SchedulingError("submit arrivals in time order")
+        self._pending.append(time)
+
+    def submit_many(self, arrivals) -> None:
+        """Buffer a time-ordered batch of ``(time, values, source)`` arrivals."""
+        for time, values, source in arrivals:
+            self.submit(time, values, source)
+
+    @property
+    def outstanding(self) -> int:
+        """The virtual queue length q (tuples admitted but not departed)."""
+        return self.admitted_total - self.departed_total
+
+    @property
+    def queued_tuples(self) -> int:
+        """Admitted tuples not yet fully served (includes a partial head)."""
+        return len(self._queue)
+
+    def drain_departures(self) -> List[Departure]:
+        """Return and clear the departures recorded since the last call."""
+        out = self._departures
+        self._departures = []
+        return out
+
+    def effective_cost(self, at: Optional[float] = None) -> float:
+        """Expected CPU seconds per tuple (the paper's ``c``) at time ``at``."""
+        t = self.now if at is None else at
+        return self.base_cost * self.cost_multiplier(t)
+
+    def run_until(self, t_end: float) -> None:
+        """Integrate the fluid queue forward to virtual time ``t_end``."""
+        if t_end < self.now:
+            raise SchedulingError(f"cannot run backwards to t={t_end}")
+        mp = self.multiplier_period
+        if mp:
+            # split on the grid where the cost multiplier may step
+            k = math.floor(self.now / mp) + 1
+            while k * mp < t_end - 1e-12:
+                self._advance_span(k * mp)
+                k += 1
+        self._advance_span(t_end)
+        self._ingest_due()
+
+    def flush(self) -> None:
+        """No buffered operator state in the fluid model."""
+
+    def consume_cpu(self, seconds: float) -> None:
+        """Charge non-query CPU work; the queue does not drain meanwhile."""
+        if seconds < 0:
+            raise SchedulingError("cannot consume negative CPU time")
+        self.cpu_used += seconds
+        self.now += seconds / self.headroom
+        self._ingest_due()
+
+    # ------------------------------------------------------------------ #
+    # in-network shedding support (same surface as VirtualQueueEngine)
+    # ------------------------------------------------------------------ #
+    def shed_oldest(self, count: int) -> int:
+        """Drop up to ``count`` tuples from the head of the virtual queue."""
+        return self._shed(count, oldest=True)
+
+    def shed_newest(self, count: int) -> int:
+        """Drop up to ``count`` tuples from the tail of the virtual queue."""
+        return self._shed(count, oldest=False)
+
+    def _shed(self, count: int, oldest: bool) -> int:
+        if count < 0:
+            raise SchedulingError("shed count must be non-negative")
+        count = min(count, len(self._queue))
+        for __ in range(count):
+            if oldest:
+                arrived = self._queue.popleft()
+                # partial work on the in-service head is discarded
+                self._served = float(self._completions)
+            else:
+                arrived = self._queue.pop()
+            self.departed_total += 1
+            self.shed_total += 1
+            self._departures.append(Departure(arrived, self.now, True))
+        return count
+
+    # ------------------------------------------------------------------ #
+    # stacked whole-grid integration
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def stacked(offered, caps, q0=0.0):
+        """Integrate a whole grid of Eq. 2 traces in one vectorized call.
+
+        ``offered``/``caps`` are per-period arrival counts and service
+        capacities (tuples) with the period axis last and grid points
+        stacked on the leading axes; returns ``(q, served)`` trajectories.
+        Thin alias for :meth:`FluidLanes.integrate` so sweep drivers can
+        stay on the engine-backend vocabulary.
+        """
+        return FluidLanes.integrate(offered, caps, q0)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _ingest_due(self) -> None:
+        while self._pending and self._pending[0] <= self.now:
+            self._queue.append(self._pending.popleft())
+            self.admitted_total += 1
+
+    def _advance_span(self, t_end: float) -> None:
+        """Fluid-integrate one span over which the cost is constant."""
+        delta = t_end - self.now
+        if delta <= 0:
+            self._ingest_due()
+            return
+        t0 = self.now
+        cost = self.base_cost * self.cost_multiplier(t0)
+        rate = self.headroom / cost  # service rate, tuples/second
+
+        # admit every arrival that lands inside the span; within the span
+        # they are treated as a uniform fluid inflow of a/delta tuples/s
+        arrivals = 0
+        while self._pending and self._pending[0] <= t_end:
+            self._queue.append(self._pending.popleft())
+            self.admitted_total += 1
+            arrivals += 1
+
+        progress = self._served - self._completions
+        q0 = len(self._queue) - arrivals - progress
+        if q0 < 0.0:
+            q0 = 0.0
+        lam = arrivals / delta
+        if q0 <= 0.0 and arrivals == 0:
+            self.now = t_end
+            return
+
+        # the queue drains at `rate` until empty at tau, then tracks arrivals
+        if rate > lam:
+            tau = q0 / (rate - lam)
+        else:
+            tau = math.inf
+        if tau >= delta:
+            t_knots = [t0, t_end]
+            s_knots = [self._served, self._served + rate * delta]
+        else:
+            t_knots = [t0, t0 + tau, t_end]
+            s_knots = [self._served,
+                       self._served + rate * tau,
+                       self._served + rate * tau + lam * (delta - tau)]
+        served = min(s_knots[-1] - self._served, q0 + arrivals)
+
+        # emit whole departures at the integer crossings of the service curve
+        n_done = math.floor(self._served + served + 1e-9)
+        if n_done > self._completions:
+            targets = _np.arange(self._completions + 1, n_done + 1, dtype=float)
+            times = _np.interp(targets, s_knots, t_knots)
+            for dep_time in times:
+                if not self._queue:  # float-edge guard
+                    break
+                arrived = self._queue.popleft()
+                dep = max(float(dep_time), arrived, self._last_departure)
+                self._last_departure = dep
+                self.departed_total += 1
+                self._completions += 1
+                self._departures.append(Departure(arrived, dep, False))
+
+        self._served += served
+        if self._served < self._completions:  # float-edge guard
+            self._served = float(self._completions)
+        self.cpu_used += served * cost
+        self.now = t_end

@@ -15,11 +15,12 @@ holds (the Figs. 5–7 experiments do exactly that).
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 from ..errors import SchedulingError
-from .engine import Departure
+from .engine import Departure, LateArrivalWarning
 
 
 class VirtualQueueEngine:
@@ -43,15 +44,35 @@ class VirtualQueueEngine:
         self.admitted_total = 0
         self.departed_total = 0
         self.shed_total = 0
+        self.late_arrivals = 0
         self.cpu_used = 0.0
+        self._late_warned = False
         self._departures: List[Departure] = []
 
     # ------------------------------------------------------------------ #
     # interface shared with Engine
     # ------------------------------------------------------------------ #
     def submit(self, time: float, values: Tuple = (), source: str = "in") -> None:
-        """Buffer one arrival; timestamps must be non-decreasing."""
-        time = max(time, self.now)  # late submission: arrives "now"
+        """Buffer one arrival; timestamps must be non-decreasing.
+
+        ``values`` and ``source`` are accepted for interface parity with the
+        full engine but carry no information in the fluid model (a single
+        virtual FIFO has one implicit source and costs are per-tuple, not
+        per-value); they are intentionally ignored.
+        """
+        if time < self.now:
+            self.late_arrivals += 1
+            if not self._late_warned:
+                self._late_warned = True
+                warnings.warn(
+                    f"arrival submitted at t={time:.6f} while the engine "
+                    f"clock is already at t={self.now:.6f}; rewriting to "
+                    "'now' (reported once per run; see "
+                    "VirtualQueueEngine.late_arrivals for the total count)",
+                    LateArrivalWarning,
+                    stacklevel=2,
+                )
+            time = self.now  # late submission: arrives "now"
         if self._pending and time < self._pending[-1]:
             raise SchedulingError("submit arrivals in time order")
         self._pending.append(time)

@@ -35,6 +35,10 @@ class SheddingError(ReproError):
     """Errors in load-shedder configuration or plan construction."""
 
 
+class BackendError(ReproError):
+    """Errors in engine-backend selection (unknown name, missing extras)."""
+
+
 class ExperimentError(ReproError):
     """Errors in experiment configuration or execution."""
 

@@ -55,6 +55,10 @@ class ExperimentConfig:
     seed: int = 42
     use_cost_trace: bool = True    # apply the Fig. 14 cost variations
     poisson_arrivals: bool = True  # Poisson within-period arrival placement
+    #: engine backend driven by :func:`repro.dsms.make_engine` — "full"
+    #: (discrete-event), "fluid" (scalar Eq. 2 FIFO) or "batch"
+    #: (vectorized fluid spans; needs the ``repro[fast]`` extra)
+    engine_backend: str = "full"
 
     @property
     def base_cost(self) -> float:

@@ -90,7 +90,9 @@ class Job:
     target: Union[float, Callable[[int], float], None] = None
     controller_kwargs: Optional[dict] = None
     estimator: Optional[str] = None       # key into ESTIMATOR_SPECS
-    engine_kind: str = "full"
+    #: engine backend name for repro.dsms.make_engine; None follows the
+    #: job config's ``engine_backend``
+    engine_kind: Optional[str] = None
     scheduler: Optional[str] = None       # spec string, see runner.make_scheduler
     seed: Optional[int] = None            # overrides config.seed when set
     arrival_seed: Optional[int] = None

@@ -55,17 +55,41 @@ def period_sweep(config: Optional[ExperimentConfig] = None,
                  periods: Sequence[float] = PAPER_PERIODS,
                  strategy: str = "CTRL",
                  workload_kind: str = "web",
-                 workers: Optional[int] = None) -> PeriodSweepResult:
+                 workers: Optional[int] = None,
+                 backend: Optional[str] = None,
+                 cross_check: bool = False) -> PeriodSweepResult:
     """Fig. 19: the same run at different control periods.
 
-    Each period is an independent seeded simulation, so the sweep fans out
-    over the experiment process pool (workload generation included — every
-    period resamples its own trace, exactly as the serial version did).
+    With ``backend=None`` (or any scalar backend name) each period is an
+    independent seeded simulation fanned out over the experiment process
+    pool (workload generation included — every period resamples its own
+    trace, exactly as the serial version did).
+
+    ``backend="batch"`` instead runs the whole sweep as one vectorized
+    grid on the :mod:`repro.experiments.batch_sweep` fast path (needs the
+    ``repro[fast]`` extra); ``cross_check=True`` additionally re-runs
+    every period on the scalar fluid engine and raises if violation time
+    or loss ratio disagree beyond 1%.
     """
     config = config or ExperimentConfig()
+    if backend == "batch":
+        from .batch_sweep import GridPoint, cross_check_grid, run_batch_grid
+
+        points = [
+            GridPoint(config=config.scaled(period=t), strategy=strategy,
+                      workload_kind=workload_kind, key=f"T={t}")
+            for t in periods
+        ]
+        results = run_batch_grid(points)
+        if cross_check:
+            cross_check_grid(points, results)
+        return PeriodSweepResult(
+            metrics={t: r.qos for t, r in zip(periods, results)}
+        )
     jobs = [
         Job(strategy=strategy, config=config.scaled(period=t),
-            workload_kind=workload_kind, key=f"T={t}")
+            workload_kind=workload_kind, key=f"T={t}",
+            engine_kind=backend)
         for t in periods
     ]
     records = run_jobs(jobs, workers=workers)

@@ -44,9 +44,32 @@ class RetunedAuroraResult:
 
 def aurora_retuned(workload_kind: str,
                    config: Optional[ExperimentConfig] = None,
-                   headroom_override: float = 0.96) -> RetunedAuroraResult:
-    """Fig. 16: AURORA with a deliberately pessimistic capacity estimate."""
+                   headroom_override: float = 0.96,
+                   backend: Optional[str] = None) -> RetunedAuroraResult:
+    """Fig. 16: AURORA with a deliberately pessimistic capacity estimate.
+
+    ``backend="batch"`` runs both comparators as one vectorized grid on
+    the :mod:`repro.experiments.batch_sweep` fast path.
+    """
     config = config or ExperimentConfig()
+    if backend == "batch":
+        from .batch_sweep import GridPoint, run_batch_grid
+
+        points = [
+            GridPoint(config=config, strategy="AURORA",
+                      workload_kind=workload_kind,
+                      headroom_override=headroom_override,
+                      keep_record=True, key="aurora"),
+            GridPoint(config=config, strategy="CTRL",
+                      workload_kind=workload_kind, key="ctrl"),
+        ]
+        aurora_res, ctrl_res = run_batch_grid(points)
+        return RetunedAuroraResult(
+            workload=workload_kind,
+            aurora_record=aurora_res.record,
+            aurora_metrics=aurora_res.qos,
+            ctrl_metrics=ctrl_res.qos,
+        )
     workload = make_workload(workload_kind, config)
     cost_trace = make_cost_trace(config)
     aurora = run_strategy(
@@ -98,10 +121,29 @@ class BurstinessSweepResult:
 
 def burstiness_sweep(strategy: str,
                      config: Optional[ExperimentConfig] = None,
-                     bias_factors: Sequence[float] = PAPER_BIAS_FACTORS
+                     bias_factors: Sequence[float] = PAPER_BIAS_FACTORS,
+                     backend: Optional[str] = None
                      ) -> BurstinessSweepResult:
-    """Fig. 17: one strategy across Pareto bias factors."""
+    """Fig. 17: one strategy across Pareto bias factors.
+
+    ``backend="batch"`` runs the whole sweep as one vectorized grid on
+    the :mod:`repro.experiments.batch_sweep` fast path.
+    """
     config = config or ExperimentConfig()
+    if backend == "batch":
+        from .batch_sweep import GridPoint, run_batch_grid
+
+        points = [
+            GridPoint(config=config, strategy=strategy,
+                      workload_kind="pareto", beta=beta, key=f"beta={beta}")
+            for beta in bias_factors
+        ]
+        results = run_batch_grid(points)
+        return BurstinessSweepResult(
+            strategy=strategy,
+            metrics={beta: r.qos
+                     for beta, r in zip(bias_factors, results)},
+        )
     cost_trace = make_cost_trace(config)
     metrics: Dict[float, QosMetrics] = {}
     for beta in bias_factors:

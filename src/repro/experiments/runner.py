@@ -23,8 +23,8 @@ from ..dsms import (
     Engine,
     RoundRobinScheduler,
     Scheduler,
-    VirtualQueueEngine,
     identification_network,
+    make_engine,
 )
 from ..errors import ExperimentError
 from ..metrics.recorder import RunRecord
@@ -32,7 +32,7 @@ from ..shedding import LsrmShedder, QueueShedder
 from ..workloads import (
     CostTrace,
     RateTrace,
-    arrivals_from_trace,
+    cached_arrivals_from_trace,
     fig14_cost_trace,
     pareto_rate_trace_with_mean,
     web_rate_trace,
@@ -108,8 +108,9 @@ def build_engine(config: ExperimentConfig,
     multiplier = (cost_trace.as_multiplier(config.base_cost)
                   if cost_trace is not None else None)
     network = identification_network(capacity=config.capacity)
-    return Engine(
-        network,
+    return make_engine(
+        "full",
+        network=network,
         headroom=config.headroom,
         scheduler=make_scheduler(scheduler, network),
         cost_multiplier=multiplier,
@@ -126,16 +127,17 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
                  arrival_seed: Optional[int] = None,
                  controller_kwargs: Optional[dict] = None,
                  estimator_factory: Optional[Callable[[], object]] = None,
-                 engine_kind: str = "full",
+                 engine_kind: Optional[str] = None,
                  scheduler: Optional[str] = None) -> RunRecord:
     """Run one strategy over one workload; returns the full run record.
 
     ``estimator_factory`` overrides the config's cost estimator (used by
-    the estimator ablation benchmark). ``engine_kind`` selects the full
-    discrete-event engine (default) or the fast single-FIFO
-    ``"fluid"`` model (Eq. 2) — the fluid engine supports only the entry
-    actuator. ``scheduler`` is a spec string for :func:`make_scheduler`
-    (full engine only).
+    the estimator ablation benchmark). ``engine_kind`` names an engine
+    backend for :func:`repro.dsms.make_engine` — ``"full"`` (discrete
+    event), ``"fluid"`` (scalar Eq. 2 FIFO) or ``"batch"`` (vectorized
+    fluid spans); ``None`` takes ``config.engine_backend``. The fluid
+    backends support only the entry actuator. ``scheduler`` is a spec
+    string for :func:`make_scheduler` (full engine only).
     """
     if isinstance(strategy, str):
         try:
@@ -148,22 +150,28 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
         factory = strategy
     if actuator not in ACTUATORS:
         raise ExperimentError(f"unknown actuator {actuator!r}; pick from {ACTUATORS}")
+    if engine_kind is None:
+        engine_kind = config.engine_backend
     if engine_kind == "full":
         engine = build_engine(config, cost_trace, scheduler=scheduler)
-    elif engine_kind == "fluid":
+    elif engine_kind in ("fluid", "batch"):
         if actuator != "entry":
             raise ExperimentError(
-                "the fluid engine has no operator queues; use actuator='entry'"
+                "the fluid engines have no operator queues; use actuator='entry'"
             )
         if scheduler is not None:
             raise ExperimentError(
-                "the fluid engine has no operator scheduler to configure"
+                "the fluid engines have no operator scheduler to configure"
             )
         multiplier = (cost_trace.as_multiplier(config.base_cost)
                       if cost_trace is not None else None)
-        engine = VirtualQueueEngine(cost=config.base_cost,
-                                    headroom=config.headroom,
-                                    cost_multiplier=multiplier)
+        kwargs = dict(cost=config.base_cost, headroom=config.headroom,
+                      cost_multiplier=multiplier)
+        if engine_kind == "batch" and cost_trace is not None:
+            # the cost trace is piecewise-constant on its own period grid;
+            # telling the batch engine makes its span sampling exact
+            kwargs["multiplier_period"] = cost_trace.period
+        engine = make_engine(engine_kind, **kwargs)
     else:
         raise ExperimentError(f"unknown engine kind {engine_kind!r}")
     model = DsmsModel(cost=config.base_cost, headroom=config.headroom,
@@ -184,7 +192,9 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
         period=config.period,
         cycle_cost=config.control_overhead,
     )
-    arrivals = arrivals_from_trace(
+    # memoized on disk by workload hash so pool workers materialize each
+    # distinct trace once (see repro.workloads.cache)
+    arrivals = cached_arrivals_from_trace(
         workload,
         poisson=config.poisson_arrivals,
         seed=config.seed if arrival_seed is None else arrival_seed,

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..dsms import Engine, identification_network
+from ..dsms import identification_network, make_engine
 from ..errors import ExperimentError
 from ..metrics.qos import delays_by_arrival_period
 from ..workloads import RateTrace, arrivals_from_trace
@@ -38,8 +38,10 @@ class OpenLoopRun:
 def open_loop_run(trace: RateTrace, config: ExperimentConfig,
                   drain: float = 300.0) -> OpenLoopRun:
     """Feed a rate trace straight into the engine and observe."""
-    engine = Engine(identification_network(capacity=config.capacity),
-                    headroom=config.headroom, rng=random.Random(config.seed))
+    engine = make_engine(
+        "full",
+        network=identification_network(capacity=config.capacity),
+        headroom=config.headroom, rng=random.Random(config.seed))
     arrivals = arrivals_from_trace(trace, seed=config.seed)
     engine.submit_many(arrivals)
     q_series: List[int] = []

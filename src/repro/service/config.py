@@ -31,6 +31,9 @@ class ServiceConfig:
     headroom_ceiling: float = 0.97
     loss_bound: Optional[float] = None  # global drop SLA (fraction), None = off
     strategy: str = "CTRL"              # per-shard controller
+    #: engine backend per shard, resolved through repro.dsms.make_engine
+    #: ('full' | 'fluid' | 'batch')
+    backend: str = "full"
     drain_max_extra: float = 600.0
     # skew/hotspot workload shape
     n_sources: int = 4

@@ -162,6 +162,7 @@ def build_service(config: "ExperimentConfig",
             strategy=svc.strategy,
             engine_seed=config.seed + 104729 * (i + 1),
             drain_max_extra=svc.drain_max_extra,
+            backend=svc.backend,
         )
         for i, name in enumerate(svc.shard_names)
     ]

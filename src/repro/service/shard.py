@@ -34,7 +34,7 @@ from ..core import (
     Monitor,
     PolePlacementController,
 )
-from ..dsms import Engine, identification_network
+from ..dsms import EngineProtocol, identification_network, make_engine
 from ..errors import ServiceError
 from ..shedding import BoundedEntryShedder
 
@@ -60,7 +60,7 @@ class EngineShard:
     explicitly).
     """
 
-    def __init__(self, name: str, engine: Engine, loop: ControlLoop,
+    def __init__(self, name: str, engine: EngineProtocol, loop: ControlLoop,
                  model: DsmsModel, base_target: float,
                  entry_source: Optional[str] = None):
         self.name = name
@@ -70,15 +70,21 @@ class EngineShard:
         #: the shard's own QoS requirement, before any coordination
         self.base_target = float(base_target)
         self.target = float(base_target)
-        if entry_source is None:
-            sources = list(engine.network.sources)
+        network = getattr(engine, "network", None)
+        if network is None:
+            # fluid backends have no query network: a single implicit
+            # source accepts everything, under whatever name the router
+            # uses (the engines ignore it)
+            entry_source = entry_source or "in"
+        elif entry_source is None:
+            sources = list(network.sources)
             if len(sources) != 1:
                 raise ServiceError(
                     f"shard {name!r} hosts a network with sources {sources}; "
                     "pass entry_source explicitly"
                 )
             entry_source = sources[0]
-        elif entry_source not in engine.network.sources:
+        elif entry_source not in network.sources:
             raise ServiceError(
                 f"entry source {entry_source!r} not in shard {name!r}'s network"
             )
@@ -134,8 +140,15 @@ def build_shard(name: str,
                 target: float,
                 strategy: str = "CTRL",
                 engine_seed: int = 0,
-                drain_max_extra: float = 600.0) -> EngineShard:
-    """A fresh identification-network shard at the given headroom share."""
+                drain_max_extra: float = 600.0,
+                backend: str = "full") -> EngineShard:
+    """A fresh identification-network shard at the given headroom share.
+
+    ``backend`` selects the shard's engine through
+    :func:`repro.dsms.make_engine`: ``"full"`` hosts a real
+    identification network, the fluid backends model it as the Eq. 2
+    virtual queue (cheaper fleets for policy studies).
+    """
     try:
         factory = SHARD_CONTROLLERS[strategy]
     except KeyError:
@@ -143,9 +156,13 @@ def build_shard(name: str,
             f"unknown shard strategy {strategy!r}; "
             f"pick from {sorted(SHARD_CONTROLLERS)}"
         ) from None
-    network = identification_network(capacity=config.capacity)
-    engine = Engine(network, headroom=headroom,
-                    rng=random.Random(engine_seed))
+    if backend == "full":
+        network = identification_network(capacity=config.capacity)
+        engine = make_engine("full", network=network, headroom=headroom,
+                             rng=random.Random(engine_seed))
+    else:
+        engine = make_engine(backend, cost=config.base_cost,
+                             headroom=headroom)
     model = DsmsModel(cost=config.base_cost, headroom=headroom,
                       period=config.period)
     monitor = Monitor(engine, model,

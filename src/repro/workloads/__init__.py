@@ -13,6 +13,13 @@ from .arrivals import (
     merge_arrivals,
     uniform_values,
 )
+from .cache import (
+    CACHE_MIN_TUPLES,
+    cached_arrivals_from_trace,
+    clear_trace_cache,
+    trace_cache_dir,
+    trace_cache_key,
+)
 from .costs import (
     Circumstance,
     constant_cost_trace,
@@ -35,10 +42,13 @@ from .web import load_ita_trace, web_rate_trace
 
 __all__ = [
     "Arrival",
+    "CACHE_MIN_TUPLES",
     "Circumstance",
     "CostTrace",
     "RateTrace",
     "arrivals_from_trace",
+    "cached_arrivals_from_trace",
+    "clear_trace_cache",
     "constant_cost_trace",
     "constant_rate",
     "cost_trace",
@@ -58,5 +68,7 @@ __all__ = [
     "skewed_source_traces",
     "square_rate",
     "step_rate",
+    "trace_cache_dir",
+    "trace_cache_key",
     "uniform_values",
 ]
