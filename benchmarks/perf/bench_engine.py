@@ -10,6 +10,10 @@ history). Three sections:
   call) for a before/after pair on every run;
 * ``control_loop`` — closed-loop CTRL control cycles/second, i.e. the full
   monitor -> controller -> actuator stack including the engine;
+* ``obs_overhead`` — the same closed loop with the observability layer
+  absent, disabled (bus with no subscribers) and fully enabled (metrics
+  bridge + health monitor + tracer); the disabled path must stay within
+  5% of baseline;
 * ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
   (strategies x workloads) run serially vs. via the process pool;
 * ``grid_sweep`` — the Fig. 19-style tuning grid (control periods x delay
@@ -103,6 +107,74 @@ def bench_control_loop(duration: float) -> dict:
         "wall_seconds": round(wall, 4),
         "cycles_per_second": round(len(record.periods) / wall, 1),
         "sim_duration_seconds": duration,
+    }
+
+
+def bench_obs_overhead(duration: float, repeats: int = 5) -> dict:
+    """Cost of the observability layer on the closed CTRL loop.
+
+    Three variants of the same run, interleaved and rotated per round to
+    spread machine noise evenly: ``baseline`` (default silent bus — the
+    pre-obs reference), ``disabled`` (an explicit bus with no
+    subscribers, i.e. every emit guard evaluated and skipped) and
+    ``enabled`` (metrics bridge + health monitor subscribed plus a
+    per-period tracer). Each variant scores its best-of-``repeats`` wall
+    time so load spikes on shared runners drop out. The acceptance bar
+    is on the disabled path: it must stay within 5% of baseline.
+    """
+    from repro.obs import (
+        EventBus,
+        HealthMonitor,
+        MetricsRegistry,
+        PeriodTracer,
+        install_metrics,
+    )
+
+    cfg = ExperimentConfig(duration=duration)
+    workload = make_workload("web", cfg)
+
+    def baseline_run():
+        return run_strategy("CTRL", workload, cfg)
+
+    def disabled_run():
+        return run_strategy("CTRL", workload, cfg, bus=EventBus())
+
+    def enabled_run():
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        monitor = HealthMonitor(bus)
+        try:
+            return run_strategy("CTRL", workload, cfg, bus=bus,
+                                tracer=PeriodTracer())
+        finally:
+            monitor.close()
+            bridge.close()
+
+    variants = [("baseline", baseline_run), ("disabled", disabled_run),
+                ("enabled", enabled_run)]
+    best = {name: float("inf") for name, __ in variants}
+    cycles = 0
+    for round_no in range(repeats):
+        order = variants[round_no % 3:] + variants[:round_no % 3]
+        for name, fn in order:
+            start = time.perf_counter()
+            record = fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+            cycles = len(record.periods)
+
+    cps = {name: cycles / wall for name, wall in best.items()}
+    disabled_overhead = max(0.0, 1.0 - cps["disabled"] / cps["baseline"])
+    enabled_overhead = max(0.0, 1.0 - cps["enabled"] / cps["baseline"])
+    return {
+        "sim_duration_seconds": duration,
+        "repeats": repeats,
+        "control_cycles": cycles,
+        "baseline_cycles_per_second": round(cps["baseline"], 1),
+        "disabled_cycles_per_second": round(cps["disabled"], 1),
+        "enabled_cycles_per_second": round(cps["enabled"], 1),
+        "disabled_overhead_fraction": round(disabled_overhead, 4),
+        "enabled_overhead_fraction": round(enabled_overhead, 4),
+        "disabled_within_5pct": bool(disabled_overhead <= 0.05),
     }
 
 
@@ -217,6 +289,9 @@ def main(argv=None) -> int:
           f"{len(STRATEGIES) * len(WORKLOADS)} jobs, "
           f"{workers} workers)...", flush=True)
     fanout = bench_figure_fanout(fanout_duration, workers)
+    print(f"obs overhead ({loop_duration:.0f}s sim x 3 variants x 3 "
+          "repeats)...", flush=True)
+    obs = bench_obs_overhead(loop_duration)
     print("grid sweep (9 periods x 5 targets, batch vs scalar)...",
           flush=True)
     grid = bench_grid_sweep(400.0)
@@ -234,6 +309,7 @@ def main(argv=None) -> int:
             ),
         },
         "control_loop": loop,
+        "obs_overhead": obs,
         "figure_fanout": fanout,
         "grid_sweep": grid,
     }
@@ -246,6 +322,11 @@ def main(argv=None) -> int:
         failures.append("parallel records diverged from serial records")
     if report["engine_throughput"]["single_process_speedup"] < 1.0:
         failures.append("optimized engine slower than the legacy path")
+    if not obs["disabled_within_5pct"]:
+        failures.append(
+            "disabled observability costs more than 5% of the control "
+            f"loop ({obs['disabled_overhead_fraction']:.1%})"
+        )
     if not grid["cross_check_within_1pct"]:
         failures.append(
             "batch grid sweep diverged from the scalar engine by more "

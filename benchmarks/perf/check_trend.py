@@ -16,6 +16,11 @@ regressions (an accidentally quadratic hot path), not 5% jitter. Update
 the committed baseline in the same PR whenever the numbers legitimately
 move.
 
+One absolute check rides along: the fresh report's
+``obs_overhead.disabled_overhead_fraction`` must stay at or below 5% —
+the observability layer is contractually free when nobody subscribes.
+(Skipped with a note if the fresh report predates the obs section.)
+
 Usage::
 
     python benchmarks/perf/check_trend.py BENCH_engine.json BENCH_fresh.json
@@ -80,6 +85,20 @@ def main(argv=None) -> int:
             failures.append(
                 f"{metric} dropped {-change:.1%} "
                 f"(> {args.tolerance:.0%} allowed)"
+            )
+
+    obs = fresh.get("obs_overhead")
+    if obs is None:
+        print("obs_overhead: section missing from fresh report, skipping")
+    else:
+        overhead = float(obs["disabled_overhead_fraction"])
+        status = "OK" if overhead <= 0.05 else "REGRESSION"
+        print(f"obs_overhead.disabled_overhead_fraction: "
+              f"{overhead:.1%} (<= 5.0% allowed) [{status}]")
+        if status == "REGRESSION":
+            failures.append(
+                f"disabled observability overhead {overhead:.1%} "
+                "exceeds the 5% budget"
             )
 
     for failure in failures:

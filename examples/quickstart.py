@@ -7,9 +7,16 @@ controller so the average processing delay holds at a 2-second target —
 shedding only as much data as the overload requires.
 
 Run:  python examples/quickstart.py
+
+The run is observable live through :mod:`repro.obs`: set ``REPRO_LOG=debug``
+(and optionally ``REPRO_LOG_JSON=1``) for the module loggers, and point
+``REPRO_PROM_DUMP`` at a file to get a Prometheus text scrape of the whole
+run's metrics on exit.
 """
 
+import os
 import random
+from pathlib import Path
 
 from repro.core import (
     ControlLoop,
@@ -21,6 +28,7 @@ from repro.core import (
 )
 from repro.dsms import identification_network, make_engine
 from repro.metrics.report import ascii_series
+from repro.obs import configure_logging, get_bus, install_metrics
 from repro.workloads import arrivals_from_trace, pareto_rate_trace_with_mean
 
 TARGET_DELAY = 2.0      # seconds — the QoS requirement
@@ -30,6 +38,11 @@ DURATION = 120.0        # seconds of simulated time
 
 
 def main() -> None:
+    # 0. Observability: module loggers honor REPRO_LOG / REPRO_LOG_JSON,
+    #    and the metrics bridge folds every bus event into counters/gauges.
+    configure_logging()
+    bridge = install_metrics(get_bus())
+
     # 1. The plant: a Borealis-like engine running a 14-operator network.
     network = identification_network(capacity=CAPACITY)
     engine = make_engine("full", network=network, headroom=HEADROOM,
@@ -71,6 +84,11 @@ def main() -> None:
     print(f"maximal overshoot       : {qos.max_overshoot:.2f} s")
     print(f"data shed               : {qos.shed} ({100 * qos.loss_ratio:.1f}% "
           "of offered) — the price of holding the delay target")
+
+    dump = os.environ.get("REPRO_PROM_DUMP")
+    if dump:
+        Path(dump).write_text(bridge.registry.prometheus_text())
+        print(f"\nwrote Prometheus metrics scrape to {dump}")
 
 
 if __name__ == "__main__":

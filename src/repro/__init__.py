@@ -11,7 +11,10 @@ See README.md for a quickstart; the main entry points are:
 * :mod:`repro.dsms` — the stream engine substrate,
 * :mod:`repro.core` — model, controllers, monitor, actuator, control loop,
 * :mod:`repro.workloads` — arrival-rate and cost traces,
-* :mod:`repro.experiments` — one runner per paper figure.
+* :mod:`repro.experiments` — one runner per paper figure,
+* :mod:`repro.service` — the sharded multi-stream service layer,
+* :mod:`repro.obs` — live observability: event bus, metrics registry,
+  per-period tracing, and fleet health detectors.
 """
 
 __version__ = "1.0.0"
@@ -20,6 +23,7 @@ from .errors import (
     ControlError,
     ExperimentError,
     NetworkError,
+    ObservabilityError,
     ReproError,
     SchedulingError,
     ServiceError,
@@ -32,6 +36,7 @@ __all__ = [
     "ControlError",
     "ExperimentError",
     "NetworkError",
+    "ObservabilityError",
     "ReproError",
     "SchedulingError",
     "ServiceError",

@@ -34,6 +34,15 @@ from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ExperimentError
 from ..metrics.recorder import PeriodRecord, RunRecord
+from ..obs.bus import get_bus
+from ..obs.events import (
+    DrainTruncated,
+    PeriodDecision,
+    RunFinished,
+    RunStarted,
+    ShedAction,
+    TargetChanged,
+)
 from .actuator import Actuator, EntryActuator
 from .controller import Controller
 from .monitor import Monitor
@@ -53,7 +62,9 @@ class ControlLoop:
                  cycle_cost: float = 0.0,
                  predictor: Optional[ArrivalPredictor] = None,
                  drain_max_extra: float = 600.0,
-                 charge_cycle_within_period: bool = False):
+                 charge_cycle_within_period: bool = False,
+                 bus=None,
+                 tracer=None):
         if period <= 0:
             raise ExperimentError(f"control period must be positive, got {period}")
         if cycle_cost < 0:
@@ -82,7 +93,16 @@ class ControlLoop:
         #: clock exactly on the period grid, which the batch sweep
         #: cross-check relies on to compare trajectories point-for-point.
         self.charge_cycle_within_period = charge_cycle_within_period
+        #: observability event bus (the process default unless overridden;
+        #: the service layer swaps in a shard-scoped emitter). Falsy while
+        #: nobody subscribes, so emit sites guard with ``if self.bus:`` and
+        #: the disabled path never allocates an event.
+        self.bus = bus if bus is not None else get_bus()
+        #: optional :class:`~repro.obs.tracing.PeriodTracer`; None (the
+        #: default) skips every clock read
+        self.tracer = tracer
         self._target = target
+        self._target_in_force: Optional[float] = None
 
     def target_at(self, k: int) -> float:
         if callable(self._target):
@@ -106,6 +126,9 @@ class ControlLoop:
         record = RunRecord(period=self.period)
         # first period: nothing measured yet -> admit everything
         self.actuator.begin_period(float("inf"), 0.0)
+        self._target_in_force = None
+        if self.bus:
+            self.bus.emit(RunStarted(period=self.period))
         return record
 
     def run_period(self, record: RunRecord, k: int,
@@ -116,6 +139,10 @@ class ControlLoop:
         period boundary ``(k + 1) * period`` that have not been fed yet, in
         time order.
         """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_period(k)
+            mark = _time.perf_counter()
         boundary = (k + 1) * self.period
         offered = 0
         admitted = 0
@@ -140,6 +167,10 @@ class ControlLoop:
                 now = getattr(self.engine, "now", t_submit)
                 self.engine.submit(max(t_submit, now), values, source)
                 admitted += 1
+        if tracer is not None:
+            now = _time.perf_counter()
+            tracer.add("ingest", now - mark)
+            mark = now
         if self.cycle_cost and self.charge_cycle_within_period:
             # reserve the overhead inside the period so the clock lands
             # exactly on the boundary instead of creeping past it
@@ -153,10 +184,26 @@ class ControlLoop:
             self.engine.run_until(max(boundary, self.engine.now))
             if self.cycle_cost:
                 self.engine.consume_cpu(self.cycle_cost)
+        if tracer is not None:
+            now = _time.perf_counter()
+            tracer.add("engine", now - mark)
+            mark = now
         shed_retro = self.actuator.end_period(admitted)
+        if tracer is not None:
+            now = _time.perf_counter()
+            tracer.add("actuator", now - mark)
+            mark = now
         m = self.monitor.measure()
+        if tracer is not None:
+            now = _time.perf_counter()
+            tracer.add("monitor", now - mark)
+            mark = now
         target = self.target_at(k)
         decision = self.controller.decide(m, target)
+        if tracer is not None:
+            now = _time.perf_counter()
+            tracer.add("controller", now - mark)
+            mark = now
         allowance = max(0.0, decision.v) * self.period
         if self.predictor is not None:
             self.predictor.update(float(offered))
@@ -164,6 +211,10 @@ class ControlLoop:
         else:
             inflow_estimate = float(offered)
         self.actuator.begin_period(allowance, inflow_estimate)
+        if tracer is not None:
+            now = _time.perf_counter()
+            tracer.add("actuator", now - mark)
+            mark = now
         period_record = PeriodRecord(
             k=k,
             time=m.time,
@@ -183,6 +234,23 @@ class ControlLoop:
         )
         record.add(period_record, m.departures)
         record.offered_total += offered
+        bus = self.bus
+        if bus:
+            if self._target_in_force is not None \
+                    and target != self._target_in_force:
+                bus.emit(TargetChanged(old=self._target_in_force, new=target))
+            entry_dropped = offered - admitted
+            if entry_dropped > 0:
+                bus.emit(ShedAction(k=k, action="entry", count=entry_dropped,
+                                    alpha=period_record.alpha))
+            if shed_retro > 0:
+                bus.emit(ShedAction(k=k, action="retro", count=shed_retro,
+                                    alpha=period_record.alpha))
+            bus.emit(PeriodDecision(record=period_record))
+        self._target_in_force = target
+        if tracer is not None:
+            tracer.add("bookkeeping", _time.perf_counter() - mark)
+            tracer.end_period()
         return period_record
 
     def finish(self, record: RunRecord, n_periods: int) -> None:
@@ -192,7 +260,18 @@ class ControlLoop:
             # in-network drops already appear as shed departures
             record.entry_dropped_total = self.actuator.dropped_total
         # let the backlog drain so every delivered tuple's delay is known
-        self._drain(record)
+        if self.tracer is not None:
+            with self.tracer.span("drain"):
+                self._drain(record)
+        else:
+            self._drain(record)
+        if self.bus:
+            if record.drain_truncated:
+                self.bus.emit(DrainTruncated(leftover=record.drain_leftover,
+                                             time=self.engine.now))
+            self.bus.emit(RunFinished(periods=len(record.periods),
+                                      duration=record.duration,
+                                      drain_truncated=record.drain_truncated))
 
     # ------------------------------------------------------------------ #
     # classic single-call driver
@@ -215,6 +294,8 @@ class ControlLoop:
             self.run_period(record, k, due)
         self.finish(record, n_periods)
         record.wall_seconds = _time.perf_counter() - wall_start
+        if self.tracer is not None:
+            self.tracer.wall_seconds = record.wall_seconds
         return record
 
     def _drain(self, record: RunRecord,

@@ -17,7 +17,7 @@ from .builder import (
     monitoring_network,
 )
 from .catalog import Catalog, OperatorStats, PeriodStats, Snapshot
-from .engine import Departure, Engine, LateArrivalWarning
+from .engine import Departure, Engine, LateArrivalWarning, note_late_arrival
 from .factory import BACKENDS, available_backends, make_engine, register_backend
 from .fluid import VirtualQueueEngine
 from .network import QueryNetwork
@@ -79,5 +79,6 @@ __all__ = [
     "make_engine",
     "make_source_tuple",
     "monitoring_network",
+    "note_late_arrival",
     "register_backend",
 ]

@@ -25,12 +25,11 @@ without it is fine, constructing the classes is not.
 from __future__ import annotations
 
 import math
-import warnings
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 from ..errors import BackendError, SchedulingError
-from .engine import Departure, LateArrivalWarning
+from .engine import Departure, note_late_arrival
 
 try:  # pragma: no cover - exercised implicitly by every test below
     import numpy as _np
@@ -198,16 +197,7 @@ class BatchFluidEngine:
         """
         if time < self.now:
             self.late_arrivals += 1
-            if not self._late_warned:
-                self._late_warned = True
-                warnings.warn(
-                    f"arrival submitted at t={time:.6f} while the engine "
-                    f"clock is already at t={self.now:.6f}; rewriting to "
-                    "'now' (reported once per run; see "
-                    "BatchFluidEngine.late_arrivals for the total count)",
-                    LateArrivalWarning,
-                    stacklevel=2,
-                )
+            note_late_arrival(self, time)
             time = self.now  # late submission: arrives "now"
         if self._pending and time < self._pending[-1]:
             raise SchedulingError("submit arrivals in time order")

@@ -17,27 +17,58 @@ counters expose the paper's *virtual queue length* ``q``.
 from __future__ import annotations
 
 import random
-import warnings
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
+from ..obs.bus import get_bus
+from ..obs.events import LateArrival
+from ..obs.logconf import get_logger
 from .network import QueryNetwork
 from .operators.base import Operator
 from .queues import OperatorQueue
 from .scheduler import DepthFirstScheduler, Scheduler
 from .tuple_ import Lineage, StreamTuple, make_source_tuple
 
+_log = get_logger("dsms")
+
 
 class LateArrivalWarning(RuntimeWarning):
     """A tuple was submitted with a timestamp earlier than the engine clock.
 
-    The engine rewrites such timestamps to "now" (a tuple cannot arrive in
-    the past), which silently shortens its measured delay. A workload
-    generator producing these usually has a clock bug; the engine counts
-    them in :attr:`Engine.late_arrivals` and warns once per run.
+    Kept for backward compatibility: the engines no longer raise Python
+    warnings for late submissions — they emit
+    :class:`~repro.obs.events.LateArrival` events on the bus (and fall back
+    to one ``repro.dsms`` logger warning per run when nobody subscribes).
+    See :func:`note_late_arrival`.
     """
+
+
+def note_late_arrival(engine, submitted: float) -> None:
+    """Announce a late submission (timestamp behind the engine clock).
+
+    Shared by all engine backends. With a bus subscriber present this emits
+    a :class:`~repro.obs.events.LateArrival` event per occurrence; without
+    one it degrades to a single ``repro.dsms`` logger warning per run so an
+    unobserved clock bug still surfaces exactly once. The caller has
+    already bumped ``engine.late_arrivals``.
+    """
+    bus = getattr(engine, "bus", None)
+    if bus is None:
+        bus = get_bus()
+    if bus:
+        bus.emit(LateArrival(engine=type(engine).__name__,
+                             submitted=submitted, clock=engine.now,
+                             total=engine.late_arrivals))
+    elif not engine._late_warned:
+        engine._late_warned = True
+        _log.warning(
+            "arrival submitted at t=%.6f while the %s clock is already at "
+            "t=%.6f; rewriting to 'now' (reported once per run; see "
+            "late_arrivals for the total count)",
+            submitted, type(engine).__name__, engine.now,
+        )
 
 
 @dataclass(frozen=True)
@@ -116,16 +147,7 @@ class Engine:
             raise SchedulingError(f"unknown source {source!r}")
         if time < self.now:
             self.late_arrivals += 1
-            if not self._late_warned:
-                self._late_warned = True
-                warnings.warn(
-                    f"arrival submitted at t={time:.6f} while the engine "
-                    f"clock is already at t={self.now:.6f}; rewriting to "
-                    "'now' (reported once per run; see "
-                    "Engine.late_arrivals for the total count)",
-                    LateArrivalWarning,
-                    stacklevel=2,
-                )
+            note_late_arrival(self, time)
             time = self.now  # late submission: arrives "now"
         if self._pending and time < self._pending[-1][0]:
             raise SchedulingError(

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Callable, Dict, Tuple
 
 from ..errors import BackendError
+from ..obs.bus import get_bus
+from ..obs.events import BackendSelected
 from .batch import BatchFluidEngine
 from .engine import Engine
 from .fluid import VirtualQueueEngine
@@ -71,4 +73,9 @@ def make_engine(backend: str = "full", **kwargs):
             f"unknown engine backend {backend!r}; registered backends: "
             f"{', '.join(available_backends())}"
         ) from None
-    return builder(**kwargs)
+    engine = builder(**kwargs)
+    bus = get_bus()
+    if bus:
+        bus.emit(BackendSelected(backend=backend,
+                                 engine=type(engine).__name__))
+    return engine

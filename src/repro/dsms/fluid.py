@@ -15,12 +15,11 @@ holds (the Figs. 5–7 experiments do exactly that).
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
 from ..errors import SchedulingError
-from .engine import Departure, LateArrivalWarning
+from .engine import Departure, note_late_arrival
 
 
 class VirtualQueueEngine:
@@ -62,16 +61,7 @@ class VirtualQueueEngine:
         """
         if time < self.now:
             self.late_arrivals += 1
-            if not self._late_warned:
-                self._late_warned = True
-                warnings.warn(
-                    f"arrival submitted at t={time:.6f} while the engine "
-                    f"clock is already at t={self.now:.6f}; rewriting to "
-                    "'now' (reported once per run; see "
-                    "VirtualQueueEngine.late_arrivals for the total count)",
-                    LateArrivalWarning,
-                    stacklevel=2,
-                )
+            note_late_arrival(self, time)
             time = self.now  # late submission: arrives "now"
         if self._pending and time < self._pending[-1]:
             raise SchedulingError("submit arrivals in time order")

@@ -45,3 +45,7 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """Errors in the sharded service layer (routing, coordination)."""
+
+
+class ObservabilityError(ReproError):
+    """Errors in the observability layer (bus, metrics registry, tracing)."""

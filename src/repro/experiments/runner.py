@@ -28,6 +28,7 @@ from ..dsms import (
 )
 from ..errors import ExperimentError
 from ..metrics.recorder import RunRecord
+from ..obs.logconf import get_logger
 from ..shedding import LsrmShedder, QueueShedder
 from ..workloads import (
     CostTrace,
@@ -49,6 +50,8 @@ STRATEGIES: Dict[str, Callable[[DsmsModel], Controller]] = {
 }
 
 ACTUATORS = ("entry", "queue", "lsrm")
+
+_log = get_logger("experiments")
 
 
 def make_workload(kind: str, config: ExperimentConfig,
@@ -128,7 +131,9 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
                  controller_kwargs: Optional[dict] = None,
                  estimator_factory: Optional[Callable[[], object]] = None,
                  engine_kind: Optional[str] = None,
-                 scheduler: Optional[str] = None) -> RunRecord:
+                 scheduler: Optional[str] = None,
+                 bus=None,
+                 tracer=None) -> RunRecord:
     """Run one strategy over one workload; returns the full run record.
 
     ``estimator_factory`` overrides the config's cost estimator (used by
@@ -137,7 +142,9 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
     event), ``"fluid"`` (scalar Eq. 2 FIFO) or ``"batch"`` (vectorized
     fluid spans); ``None`` takes ``config.engine_backend``. The fluid
     backends support only the entry actuator. ``scheduler`` is a spec
-    string for :func:`make_scheduler` (full engine only).
+    string for :func:`make_scheduler` (full engine only). ``bus`` and
+    ``tracer`` thread straight into the :class:`ControlLoop` for live
+    observability (see :mod:`repro.obs`).
     """
     if isinstance(strategy, str):
         try:
@@ -191,6 +198,8 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
         target=config.target if target is None else target,
         period=config.period,
         cycle_cost=config.control_overhead,
+        bus=bus,
+        tracer=tracer,
     )
     # memoized on disk by workload hash so pool workers materialize each
     # distinct trace once (see repro.workloads.cache)
@@ -199,7 +208,15 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
         poisson=config.poisson_arrivals,
         seed=config.seed if arrival_seed is None else arrival_seed,
     )
-    return loop.run(arrivals, config.duration)
+    strategy_name = strategy if isinstance(strategy, str) else factory.__name__
+    _log.debug("running strategy %s over %d arrivals (engine=%s, actuator=%s)",
+               strategy_name, len(arrivals), engine_kind, actuator)
+    record = loop.run(arrivals, config.duration)
+    _log.info("strategy %s: %d periods, %d offered, %d entry-dropped, "
+              "wall %.3fs", strategy_name, len(record.periods),
+              record.offered_total, record.entry_dropped_total,
+              record.wall_seconds)
+    return record
 
 
 def run_all_strategies(workload: RateTrace, config: ExperimentConfig,

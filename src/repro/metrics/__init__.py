@@ -1,10 +1,14 @@
 """QoS metrics, run recording, reporting, and export."""
 
 from .export import (
+    PeriodJsonlWriter,
     departures_to_csv,
     load_json,
+    load_jsonl,
     periods_to_csv,
+    periods_to_jsonl,
     record_to_json,
+    trace_to_json,
 )
 from .qos import (
     QosMetrics,
@@ -17,6 +21,7 @@ from .qos import (
 from .recorder import PeriodRecord, RunRecord, merge_records
 
 __all__ = [
+    "PeriodJsonlWriter",
     "PeriodRecord",
     "QosMetrics",
     "RunRecord",
@@ -26,8 +31,11 @@ __all__ = [
     "delays_by_arrival_period",
     "departures_to_csv",
     "load_json",
+    "load_jsonl",
     "merge_records",
     "periods_to_csv",
+    "periods_to_jsonl",
     "record_to_json",
     "relative_metrics",
+    "trace_to_json",
 ]

@@ -90,3 +90,77 @@ def load_json(path: PathLike) -> dict:
     if not path.exists():
         raise ExperimentError(f"no such export: {path}")
     return json.loads(path.read_text())
+
+
+def periods_to_jsonl(record: RunRecord, path: PathLike) -> Path:
+    """One JSON object per period, one per line (streaming-friendly CSV twin)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for p in record.periods:
+            fh.write(json.dumps({f: getattr(p, f) for f in PERIOD_FIELDS}))
+            fh.write("\n")
+    return path
+
+
+def load_jsonl(path: PathLike) -> list:
+    """Read back rows written by :func:`periods_to_jsonl` (or a live sink).
+
+    Ignores a trailing partial line, so it is safe to call on a file a
+    :class:`~repro.obs.sinks.PeriodJsonlSink` is still appending to.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such export: {path}")
+    rows = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # torn tail of an in-flight write
+    return rows
+
+
+class PeriodJsonlWriter:
+    """Append-as-you-go JSONL writer usable *mid-run*.
+
+    Unlike :func:`periods_to_jsonl`, which needs the finished record, this
+    accepts one :class:`~repro.metrics.recorder.PeriodRecord` at a time and
+    flushes each row, so an experiment driver can stream the online view of
+    a run to disk as it unfolds (hand :meth:`append` to a bus subscription,
+    or call it from a custom period loop).
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self.rows = 0
+        self._fh = self.path.open("a")
+
+    def append(self, period) -> None:
+        self._fh.write(json.dumps(
+            {f: getattr(period, f) for f in PERIOD_FIELDS}))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.rows += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "PeriodJsonlWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def trace_to_json(flame: dict, path: PathLike) -> Path:
+    """Write a flame summary (:meth:`~repro.obs.tracing.PeriodTracer.flame`
+    or :func:`~repro.obs.tracing.merge_flames` output) next to the CSVs."""
+    path = Path(path)
+    path.write_text(json.dumps(flame, indent=2))
+    return path

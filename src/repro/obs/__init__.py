@@ -1,0 +1,84 @@
+"""Live observability for the load-shedding control stack.
+
+Four pieces, all opt-in and zero-dependency:
+
+- **Event bus** (:mod:`repro.obs.bus`): typed events — per-period control
+  decisions, shed actions, late arrivals, drain truncations, shard
+  rebalances — emitted live from the control loop, engines and service
+  layer. Nothing is allocated when nobody subscribes.
+- **Metrics registry** (:mod:`repro.obs.metrics`): process-wide counters,
+  gauges and histograms with Prometheus text exposition and JSONL
+  snapshots; :func:`install_metrics` bridges bus events into it.
+- **Tracing** (:mod:`repro.obs.tracing`): per-period wall-clock spans
+  (engine / monitor / controller / actuator / coordinator) aggregated
+  into a flame summary exported next to the run CSVs.
+- **Health detectors** (:mod:`repro.obs.health`): online monitors for
+  sustained QoS violation, actuator saturation, controller windup, drain
+  truncation and shard imbalance, surfaced as structured reports.
+
+Typical live-observation session::
+
+    from repro import obs
+
+    bus = obs.get_bus()
+    bridge = obs.install_metrics(bus)          # bus -> Prometheus metrics
+    health = obs.HealthMonitor(bus)            # bus -> health reports
+    bus.subscribe(print, kinds=("shed",))      # raw event feed
+
+    ...  # run any ControlLoop / StreamService in this process
+
+    print(bridge.registry.prometheus_text())
+    print(health.summary())
+"""
+
+from .bus import EventBus, ScopedEmitter, get_bus
+from .events import (
+    EVENT_KINDS,
+    AlphaCapped,
+    BackendSelected,
+    DrainTruncated,
+    HeadroomChanged,
+    LateArrival,
+    ObsEvent,
+    PeriodDecision,
+    RunFinished,
+    RunStarted,
+    ShardRebalanced,
+    ShedAction,
+    TargetChanged,
+)
+from .health import HEALTH_KINDS, HealthMonitor, HealthReport
+from .logconf import JsonLogFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSnapshotSink,
+    MetricsBridge,
+    MetricsRegistry,
+    get_registry,
+    install_metrics,
+)
+from .sinks import PeriodJsonlSink
+from .tracing import SEGMENTS, PeriodTracer, merge_flames
+
+__all__ = [
+    # bus
+    "EventBus", "ScopedEmitter", "get_bus",
+    # events
+    "ObsEvent", "EVENT_KINDS", "RunStarted", "PeriodDecision", "ShedAction",
+    "LateArrival", "DrainTruncated", "TargetChanged", "HeadroomChanged",
+    "AlphaCapped", "ShardRebalanced", "BackendSelected", "RunFinished",
+    # metrics
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "JsonlSnapshotSink", "MetricsBridge", "get_registry", "install_metrics",
+    # tracing
+    "PeriodTracer", "SEGMENTS", "merge_flames",
+    # health
+    "HealthMonitor", "HealthReport", "HEALTH_KINDS",
+    # logging
+    "configure_logging", "get_logger", "JsonLogFormatter",
+    # sinks
+    "PeriodJsonlSink",
+]

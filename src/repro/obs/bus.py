@@ -1,0 +1,140 @@
+"""The event bus: a typed, subscribable stream of observability events.
+
+One process-wide default bus (:func:`get_bus`) is what the instrumented
+layers emit to unless handed an explicit bus; subscribing to it is how an
+operator opts into live observability. The design keeps the disabled path
+near-free: every emit site guards with ``if bus:`` — a bus with no
+subscribers is falsy, so when nobody is listening the event object is
+never even constructed.
+
+Subscribers are plain callables ``fn(event)``; an optional ``kinds``
+filter restricts delivery to the named event kinds (see
+:mod:`repro.obs.events`). Subscriber exceptions propagate to the emitter —
+observability code that raises should fail loudly, not corrupt a run
+silently.
+
+:class:`ScopedEmitter` wraps a bus and stamps a ``shard`` label on every
+event passing through; the service layer hands one to each shard's loop so
+fleet subscribers can tell per-shard streams apart.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..errors import ObservabilityError
+from .events import ObsEvent
+
+Subscriber = Callable[[ObsEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`~repro.obs.events.ObsEvent` objects."""
+
+    def __init__(self) -> None:
+        self._subs: List[Tuple[Subscriber, Optional[frozenset]]] = []
+
+    # ------------------------------------------------------------------ #
+    # subscription management
+    # ------------------------------------------------------------------ #
+    def subscribe(self, callback: Subscriber,
+                  kinds: Optional[Iterable[str]] = None) -> Subscriber:
+        """Register ``callback`` for every event (or just the given kinds).
+
+        Returns the callback so it can be used as a decorator and as the
+        token for :meth:`unsubscribe`.
+        """
+        if not callable(callback):
+            raise ObservabilityError(
+                f"bus subscriber must be callable, got {callback!r}"
+            )
+        kindset = None if kinds is None else frozenset(kinds)
+        if kindset is not None and not kindset:
+            raise ObservabilityError("empty kinds filter would never match")
+        self._subs.append((callback, kindset))
+        return callback
+
+    def unsubscribe(self, callback: Subscriber) -> bool:
+        """Remove every registration of ``callback``; True if any removed.
+
+        Compares with ``==`` so a bound method unsubscribes even though
+        each attribute access builds a fresh method object.
+        """
+        before = len(self._subs)
+        self._subs = [(cb, kinds) for cb, kinds in self._subs
+                      if cb != callback]
+        return len(self._subs) < before
+
+    @contextmanager
+    def subscribed(self, callback: Subscriber,
+                   kinds: Optional[Iterable[str]] = None):
+        """Scoped subscription: unsubscribes on exit even on error."""
+        self.subscribe(callback, kinds)
+        try:
+            yield callback
+        finally:
+            self.unsubscribe(callback)
+
+    # ------------------------------------------------------------------ #
+    # emission
+    # ------------------------------------------------------------------ #
+    def emit(self, event: ObsEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, in order."""
+        for callback, kinds in tuple(self._subs):
+            if kinds is None or event.kind in kinds:
+                callback(event)
+
+    def scoped(self, shard: str) -> "ScopedEmitter":
+        """An emitter that stamps ``shard`` on every event it forwards."""
+        return ScopedEmitter(self, shard)
+
+    def __bool__(self) -> bool:
+        """True when at least one subscriber is listening.
+
+        This is the whole opt-in mechanism: emit sites guard with
+        ``if bus:`` so a silent bus costs one truthiness check per control
+        period and no event allocation at all.
+        """
+        return bool(self._subs)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+
+class ScopedEmitter:
+    """A bus view that labels events with a shard name on the way through.
+
+    Quacks like a bus for emit sites (``emit``, ``scoped``, ``__bool__``)
+    but shares the underlying bus's subscribers — subscribing happens on
+    the real bus, before or after the scoped view is created.
+    """
+
+    __slots__ = ("bus", "shard")
+
+    def __init__(self, bus: EventBus, shard: str):
+        self.bus = bus
+        self.shard = str(shard)
+
+    def emit(self, event: ObsEvent) -> None:
+        if event.shard is None:
+            event.shard = self.shard
+        self.bus.emit(event)
+
+    def scoped(self, shard: str) -> "ScopedEmitter":
+        return ScopedEmitter(self.bus, shard)
+
+    def __bool__(self) -> bool:
+        return bool(self.bus)
+
+    def __len__(self) -> int:
+        return len(self.bus)
+
+
+#: the process-wide default bus every instrumented layer falls back to
+_DEFAULT_BUS = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The process-wide default event bus (always the same object)."""
+    return _DEFAULT_BUS

@@ -1,0 +1,173 @@
+"""Typed observability events.
+
+Every instrumented layer announces what it just did by emitting one of
+these dataclasses on an :class:`~repro.obs.bus.EventBus`. Events are the
+*only* coupling between the instrumented code and the observability
+consumers (metrics bridge, health detectors, JSONL sinks, user callbacks):
+producers construct an event and hand it to the bus; everything else is a
+subscriber.
+
+Each event carries a class-level ``kind`` tag (stable, snake_case) that
+subscribers can filter on without ``isinstance`` chains, and an optional
+``shard`` label stamped by the service layer's scoped emitters so fleet
+subscribers can tell the shards apart.
+
+Events are deliberately plain (mutable) dataclasses: the service layer's
+:class:`~repro.obs.bus.ScopedEmitter` stamps ``shard`` on the way through,
+and consumers treat them as read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, ClassVar, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..metrics.recorder import PeriodRecord
+
+
+class ObsEvent:
+    """Base class for all observability events."""
+
+    kind: ClassVar[str] = "event"
+    shard: Optional[str]
+
+
+@dataclass
+class RunStarted(ObsEvent):
+    """A control loop began a run (the actuator was armed wide open)."""
+
+    kind: ClassVar[str] = "run_started"
+    period: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class PeriodDecision(ObsEvent):
+    """One control period closed: measurement + decision, per Fig. 3.
+
+    Carries the full :class:`~repro.metrics.recorder.PeriodRecord` so
+    subscribers see exactly what the run record will hold — the online
+    view is the offline view, just earlier.
+    """
+
+    kind: ClassVar[str] = "period"
+    record: "PeriodRecord" = None
+    shard: Optional[str] = None
+
+
+@dataclass
+class ShedAction(ObsEvent):
+    """Tuples were discarded during/at the close of a control period."""
+
+    kind: ClassVar[str] = "shed"
+    k: int = 0
+    #: "entry" — dropped by the admission filter before the engine;
+    #: "retro" — culled from operator queues at the period boundary
+    action: str = "entry"
+    count: int = 0
+    alpha: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class LateArrival(ObsEvent):
+    """A tuple was submitted with a timestamp behind the engine clock.
+
+    The engine rewrites such timestamps to "now" (a tuple cannot arrive
+    in the past), silently shortening its measured delay; a workload
+    generator producing these usually has a clock bug. ``total`` is the
+    engine's cumulative late-arrival count including this one.
+    """
+
+    kind: ClassVar[str] = "late_arrival"
+    engine: str = ""
+    submitted: float = 0.0
+    clock: float = 0.0
+    total: int = 0
+    shard: Optional[str] = None
+
+
+@dataclass
+class DrainTruncated(ObsEvent):
+    """The end-of-run drain hit its virtual deadline with tuples left."""
+
+    kind: ClassVar[str] = "drain_truncated"
+    leftover: int = 0
+    time: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class TargetChanged(ObsEvent):
+    """A shard's delay target was changed from outside its loop."""
+
+    kind: ClassVar[str] = "target_changed"
+    old: float = 0.0
+    new: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class HeadroomChanged(ObsEvent):
+    """A shard's CPU share was changed by the coordinator."""
+
+    kind: ClassVar[str] = "headroom_changed"
+    old: float = 0.0
+    new: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class AlphaCapped(ObsEvent):
+    """A shard's entry-drop probability was capped by the coordinator."""
+
+    kind: ClassVar[str] = "alpha_capped"
+    cap: float = 1.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class ShardRebalanced(ObsEvent):
+    """The coordinator closed one fleet-wide rebalancing decision.
+
+    ``detail`` is the coordinator's history entry for the period — the
+    observed demands and the allocations it handed out (mode-dependent).
+    """
+
+    kind: ClassVar[str] = "rebalanced"
+    k: int = 0
+    mode: str = "independent"
+    detail: dict = field(default_factory=dict)
+    shard: Optional[str] = None
+
+
+@dataclass
+class BackendSelected(ObsEvent):
+    """An engine backend was constructed through the factory registry."""
+
+    kind: ClassVar[str] = "backend"
+    backend: str = ""
+    engine: str = ""
+    shard: Optional[str] = None
+
+
+@dataclass
+class RunFinished(ObsEvent):
+    """A control loop finished (drain complete, record closed)."""
+
+    kind: ClassVar[str] = "run_finished"
+    periods: int = 0
+    duration: float = 0.0
+    drain_truncated: bool = False
+    shard: Optional[str] = None
+
+
+#: every event kind the library emits, for subscriber validation
+EVENT_KINDS = tuple(
+    cls.kind for cls in (
+        RunStarted, PeriodDecision, ShedAction, LateArrival, DrainTruncated,
+        TargetChanged, HeadroomChanged, AlphaCapped, ShardRebalanced,
+        BackendSelected, RunFinished,
+    )
+)

@@ -1,0 +1,313 @@
+"""Online fleet health detectors built on the event bus.
+
+The paper's measurement-lag argument (Section 3.3 / Eq. 11) is exactly why
+these exist: the true delay of a tuple is only known after it departs, so
+any *online* health verdict must be built from the same ŷ(k) estimate the
+controller feeds on. A :class:`HealthMonitor` subscribes to the bus and
+watches the per-period decision stream for sustained pathologies:
+
+``qos_violation``
+    the delay estimate has exceeded the target for ``qos_patience``
+    consecutive periods — the loop is not holding its SLA;
+``actuator_saturated``
+    the entry drop probability has pinned at its upper bound
+    (``alpha >= saturation_alpha``) for ``saturation_patience`` periods —
+    the controller is demanding more shedding than the actuator can
+    deliver, so the loop is effectively open;
+``controller_windup``
+    the commanded admission rate has been clamped at zero while the raw
+    controller state keeps diverging — the textbook integrator-windup
+    signature (see the anti-windup ablation);
+``drain_truncated``
+    the end-of-run drain gave up with tuples outstanding — tail metrics
+    of this run are untrustworthy;
+``shard_imbalance``
+    across a fleet, the spread between the worst and best shard's delay
+    estimate has exceeded ``imbalance_spread`` times the mean in-force
+    target for ``imbalance_patience`` consecutive periods — load is
+    skewed and (if the coordinator is enabled) rebalancing is overdue.
+
+Detectors report *episodes*: one :class:`HealthReport` per contiguous
+stretch of bad periods, updated in place while the episode lasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .bus import EventBus, get_bus
+from .events import ObsEvent
+
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+HEALTH_KINDS = ("qos_violation", "actuator_saturated", "controller_windup",
+                "drain_truncated", "shard_imbalance")
+
+
+@dataclass
+class HealthReport:
+    """One detected episode of one pathology on one shard (or the fleet)."""
+
+    kind: str
+    shard: Optional[str]
+    severity: str
+    first_k: int
+    last_k: int
+    value: float          # kind-specific magnitude (see ``detail``)
+    detail: str
+    open: bool = True     # still ongoing when the run ended
+
+    @property
+    def periods(self) -> int:
+        return self.last_k - self.first_k + 1
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "shard": self.shard,
+                "severity": self.severity, "first_k": self.first_k,
+                "last_k": self.last_k, "periods": self.periods,
+                "value": self.value, "detail": self.detail, "open": self.open}
+
+
+@dataclass
+class _Streak:
+    """Consecutive-period accounting behind one detector on one shard."""
+
+    count: int = 0
+    start_k: int = -1
+    peak: float = 0.0
+    report: Optional[HealthReport] = None
+
+    def advance(self, k: int, value: float) -> None:
+        if self.count == 0:
+            self.start_k = k
+            self.peak = value
+        self.count += 1
+        self.peak = max(self.peak, value)
+
+    def clear(self) -> None:
+        if self.report is not None:
+            self.report.open = False
+        self.count = 0
+        self.start_k = -1
+        self.peak = 0.0
+        self.report = None
+
+
+class HealthMonitor:
+    """Subscribes to a bus and maintains structured health reports."""
+
+    def __init__(self, bus: Optional[EventBus] = None,
+                 qos_patience: int = 5,
+                 qos_tolerance: float = 0.0,
+                 saturation_alpha: float = 0.999,
+                 saturation_patience: int = 3,
+                 windup_patience: int = 5,
+                 imbalance_spread: float = 1.0,
+                 imbalance_patience: int = 3):
+        for name, patience in (("qos_patience", qos_patience),
+                               ("saturation_patience", saturation_patience),
+                               ("windup_patience", windup_patience),
+                               ("imbalance_patience", imbalance_patience)):
+            if patience < 1:
+                raise ValueError(f"{name} must be >= 1, got {patience}")
+        self.bus = bus if bus is not None else get_bus()
+        self.qos_patience = qos_patience
+        self.qos_tolerance = qos_tolerance
+        self.saturation_alpha = saturation_alpha
+        self.saturation_patience = saturation_patience
+        self.windup_patience = windup_patience
+        self.imbalance_spread = imbalance_spread
+        self.imbalance_patience = imbalance_patience
+
+        self._reports: List[HealthReport] = []
+        self._qos: Dict[str, _Streak] = {}
+        self._sat: Dict[str, _Streak] = {}
+        self._windup: Dict[str, _Streak] = {}
+        self._u_prev: Dict[str, float] = {}
+        self._fleet: Dict[int, Dict[str, Tuple[float, float]]] = {}
+        self._imbalance = _Streak()
+        self.bus.subscribe(self._on_event,
+                           kinds=("period", "drain_truncated"))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop listening; reports stay available."""
+        self.bus.unsubscribe(self._on_event)
+
+    def __enter__(self) -> "HealthMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def reports(self, kind: Optional[str] = None) -> List[HealthReport]:
+        if kind is None:
+            return list(self._reports)
+        return [r for r in self._reports if r.kind == kind]
+
+    def has(self, kind: str) -> bool:
+        return any(r.kind == kind for r in self._reports)
+
+    def healthy(self) -> bool:
+        return not self._reports
+
+    def summary(self) -> dict:
+        """Counts per kind plus the full report list (JSON-able)."""
+        counts: Dict[str, int] = {}
+        for report in self._reports:
+            counts[report.kind] = counts.get(report.kind, 0) + 1
+        return {"healthy": self.healthy(), "counts": counts,
+                "reports": [r.as_dict() for r in self._reports]}
+
+    # ------------------------------------------------------------------ #
+    # event handling
+    # ------------------------------------------------------------------ #
+    def _on_event(self, event: ObsEvent) -> None:
+        if event.kind == "period":
+            self._on_period(event)
+        elif event.kind == "drain_truncated":
+            self._reports.append(HealthReport(
+                kind="drain_truncated",
+                shard=event.shard,
+                severity=SEVERITY_WARNING,
+                first_k=-1, last_k=-1,
+                value=float(event.leftover),
+                detail=(f"end-of-run drain gave up with {event.leftover} "
+                        "tuples outstanding; tail delay metrics are not a "
+                        "faithful quiescent drain"),
+                open=False,
+            ))
+
+    def _on_period(self, event) -> None:
+        p = event.record
+        shard = event.shard or "main"
+        self._check_qos(shard, p)
+        self._check_saturation(shard, p)
+        self._check_windup(shard, p)
+        self._check_imbalance(shard, p)
+
+    # ------------------------------------------------------------------ #
+    # detectors
+    # ------------------------------------------------------------------ #
+    def _run_streak(self, streaks: Dict[str, _Streak], shard: str,
+                    bad: bool, k: int, value: float, patience: int,
+                    kind: str, severity: str, detail_fn) -> None:
+        streak = streaks.setdefault(shard, _Streak())
+        if not bad:
+            streak.clear()
+            return
+        streak.advance(k, value)
+        if streak.count < patience:
+            return
+        if streak.report is None:
+            streak.report = HealthReport(
+                kind=kind, shard=shard, severity=severity,
+                first_k=streak.start_k, last_k=k, value=streak.peak,
+                detail=detail_fn(streak),
+            )
+            self._reports.append(streak.report)
+        else:
+            streak.report.last_k = k
+            streak.report.value = streak.peak
+            streak.report.detail = detail_fn(streak)
+
+    def _check_qos(self, shard: str, p) -> None:
+        excess = p.delay_estimate - p.target
+        bad = excess > self.qos_tolerance
+
+        def detail(streak: _Streak) -> str:
+            return (f"delay estimate above target for {streak.count} "
+                    f"consecutive periods (worst excess "
+                    f"{streak.peak:.3f} s over yd)")
+
+        self._run_streak(self._qos, shard, bad, p.k, max(excess, 0.0),
+                         self.qos_patience, "qos_violation",
+                         SEVERITY_CRITICAL, detail)
+
+    def _check_saturation(self, shard: str, p) -> None:
+        bad = p.alpha >= self.saturation_alpha
+
+        def detail(streak: _Streak) -> str:
+            return (f"entry drop probability pinned at alpha="
+                    f"{streak.peak:.3f} for {streak.count} consecutive "
+                    "periods; the actuator cannot shed harder and the "
+                    "loop is effectively open")
+
+        self._run_streak(self._sat, shard, bad, p.k, p.alpha,
+                         self.saturation_patience, "actuator_saturated",
+                         SEVERITY_CRITICAL, detail)
+
+    def _check_windup(self, shard: str, p) -> None:
+        u_prev = self._u_prev.get(shard)
+        self._u_prev[shard] = p.u
+        bad = (u_prev is not None and p.v <= 0.0 and p.u < u_prev)
+
+        def detail(streak: _Streak) -> str:
+            return (f"admission command clamped at zero while the raw "
+                    f"controller output kept diverging for {streak.count} "
+                    f"consecutive periods (u down to {p.u:.1f} t/s); "
+                    "consider anti-windup back-calculation")
+
+        self._run_streak(self._windup, shard, bad, p.k, abs(p.u),
+                         self.windup_patience, "controller_windup",
+                         SEVERITY_WARNING, detail)
+
+    def _check_imbalance(self, shard: str, p) -> None:
+        # group estimates by period; evaluate k-1 once every shard that is
+        # going to report it has (i.e. when the first k row lands)
+        self._fleet.setdefault(p.k, {})[shard] = (p.delay_estimate, p.target)
+        stale = [k for k in self._fleet if k < p.k]
+        for k in sorted(stale):
+            self._evaluate_imbalance(k, self._fleet.pop(k))
+
+    def _evaluate_imbalance(self, k: int,
+                            rows: Dict[str, Tuple[float, float]]) -> None:
+        if len(rows) < 2:
+            return
+        estimates = {shard: est for shard, (est, _) in rows.items()}
+        worst = max(estimates, key=estimates.get)
+        best = min(estimates, key=estimates.get)
+        spread = estimates[worst] - estimates[best]
+        mean_target = sum(t for _, t in rows.values()) / len(rows)
+        bad = spread > self.imbalance_spread * max(mean_target, 1e-9)
+        streak = self._imbalance
+        if not bad:
+            streak.clear()
+            return
+        streak.advance(k, spread)
+        if streak.count < self.imbalance_patience:
+            return
+
+        def detail() -> str:
+            return (f"delay-estimate spread across shards reached "
+                    f"{streak.peak:.2f} s (worst {worst!r}, best {best!r}) "
+                    f"over {streak.count} consecutive periods; load is "
+                    "skewed relative to the CPU split")
+
+        if streak.report is None:
+            streak.report = HealthReport(
+                kind="shard_imbalance", shard=worst,
+                severity=SEVERITY_WARNING,
+                first_k=streak.start_k, last_k=k, value=streak.peak,
+                detail=detail(),
+            )
+            self._reports.append(streak.report)
+        else:
+            streak.report.last_k = k
+            streak.report.shard = worst
+            streak.report.value = streak.peak
+            streak.report.detail = detail()
+
+    def finalize(self) -> List[HealthReport]:
+        """Evaluate any pending fleet rows and return the reports."""
+        for k in sorted(self._fleet):
+            self._evaluate_imbalance(k, self._fleet[k])
+        self._fleet.clear()
+        return self.reports()

@@ -1,0 +1,93 @@
+"""Logging configuration for the :mod:`repro` package.
+
+The library itself only ever creates named loggers under the ``"repro"``
+hierarchy and never touches the root logger; :func:`configure_logging` is
+the opt-in that attaches a handler. Two environment knobs drive it:
+
+``REPRO_LOG``
+    level name (``debug``, ``info``, ``warning``, ``error``) — presence
+    alone enables logging at that level;
+``REPRO_LOG_JSON``
+    when set to a truthy value (``1``, ``true``, ``yes``, ``on``), emit
+    one JSON object per line instead of human-readable text.
+
+Calling :func:`configure_logging` twice replaces the previous handler
+rather than stacking (idempotent), so library entry points may call it
+freely.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Optional, TextIO
+
+#: root of the library's logger hierarchy
+LOGGER_NAME = "repro"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+_TEXT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line — machine-ingestable run logs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": self.formatTime(record, datefmt="%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child logger under the library hierarchy (``repro.<name>``)."""
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+def _parse_level(level: str) -> int:
+    resolved = logging.getLevelName(level.strip().upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(level: Optional[str] = None,
+                      json_lines: Optional[bool] = None,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Attach (or replace) the library's log handler.
+
+    Arguments default from the environment: ``level`` from ``REPRO_LOG``
+    (falling back to ``warning``) and ``json_lines`` from
+    ``REPRO_LOG_JSON``. Returns the configured ``"repro"`` logger.
+    """
+    if level is None:
+        level = os.environ.get("REPRO_LOG", "warning")
+    if json_lines is None:
+        json_lines = os.environ.get(
+            "REPRO_LOG_JSON", "").strip().lower() in _TRUTHY
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(_parse_level(level))
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(_TEXT_FORMAT))
+    # replace rather than stack: drop any handler a prior call attached
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_managed", False):
+            logger.removeHandler(existing)
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -42,6 +42,10 @@ class ServiceConfig:
     per_source_rate: Optional[float] = None  # tuples/s of a regular source;
                                              # None -> 55% of one shard's
                                              # baseline capacity
+    # observability (repro.obs): run online health detectors / per-period
+    # wall-clock tracing alongside the fleet
+    health: bool = False
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ServiceError
 from ..metrics.recorder import PeriodRecord
+from ..obs.events import ShardRebalanced
 from .shard import EngineShard
 
 MODES = ("independent", "target", "headroom")
@@ -74,6 +75,8 @@ class HeadroomCoordinator:
         self.loss_bound = loss_bound
         #: one dict per period: what was observed and what was allocated
         self.history: List[dict] = []
+        #: observability bus the service wires in; None = silent
+        self.bus = None
 
     # ------------------------------------------------------------------ #
     # the once-per-period entry point
@@ -91,6 +94,11 @@ class HeadroomCoordinator:
         if self.loss_bound is not None:
             self._reconcile_drop_caps(shards, periods, entry)
         self.history.append(entry)
+        bus = self.bus
+        if bus is not None and bus and len(entry) > 2:
+            # only decisions with substance (beyond k/mode) are events;
+            # independent mode without a loss bound stays silent
+            bus.emit(ShardRebalanced(k=k, mode=self.mode, detail=dict(entry)))
         return entry
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,9 @@ from ..errors import ServiceError
 from ..metrics.export import record_to_json
 from ..metrics.qos import QosMetrics, combine_qos
 from ..metrics.recorder import RunRecord, merge_records
+from ..obs.bus import get_bus
+from ..obs.health import HealthMonitor
+from ..obs.tracing import PeriodTracer, merge_flames
 from .config import ServiceConfig
 from .coordinator import HeadroomCoordinator
 from .router import StreamRouter, make_router
@@ -42,6 +45,12 @@ class ServiceResult:
     shard_records: Dict[str, RunRecord]
     coordinator_history: List[dict] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: :meth:`~repro.obs.health.HealthMonitor.summary` of the run, when the
+    #: service ran with ``health=True``; None otherwise
+    health: Optional[dict] = None
+    #: merged :func:`~repro.obs.tracing.merge_flames` summary, when the
+    #: service ran with ``trace=True``; None otherwise
+    trace_summary: Optional[dict] = None
 
     @property
     def aggregate(self) -> RunRecord:
@@ -90,7 +99,8 @@ class StreamService:
     """N engine shards, a stream router, and a global coordinator."""
 
     def __init__(self, shards: Sequence[EngineShard], router: StreamRouter,
-                 coordinator: HeadroomCoordinator):
+                 coordinator: HeadroomCoordinator,
+                 bus=None, health: bool = False, trace: bool = False):
         if not shards:
             raise ServiceError("a service needs at least one shard")
         if router.n_shards != len(shards):
@@ -111,14 +121,36 @@ class StreamService:
         self.router = router
         self.coordinator = coordinator
         self.period = next(iter(periods))
+        #: fleet observability: each shard's loop and engine emit through a
+        #: shard-scoped view of this bus, so one subscription sees every
+        #: shard's events, labeled. The coordinator emits fleet-level
+        #: events on the bus directly.
+        self.bus = bus if bus is not None else get_bus()
+        self.health = health
+        self.trace = trace
+        for shard in self.shards:
+            scoped = self.bus.scoped(shard.name)
+            shard.loop.bus = scoped
+            shard.engine.bus = scoped
+        self.coordinator.bus = self.bus
 
     def run(self, arrivals: Sequence[Arrival], duration: float) -> ServiceResult:
         """Drive all shards for ``duration`` seconds of virtual time."""
         if duration <= 0:
             raise ServiceError("duration must be positive")
+        monitor = HealthMonitor(self.bus) if self.health else None
+        svc_tracer: Optional[PeriodTracer] = None
+        if self.trace:
+            svc_tracer = PeriodTracer()
+            for shard in self.shards:
+                shard.loop.tracer = PeriodTracer()
         wall_start = _time.perf_counter()
         n_periods = int(round(duration / self.period))
-        per_shard = self.router.partition(arrivals)
+        if svc_tracer is not None:
+            with svc_tracer.span("dispatch"):
+                per_shard = self.router.partition(arrivals)
+        else:
+            per_shard = self.router.partition(arrivals)
         iters: List[Iterator[Arrival]] = [iter(lst) for lst in per_shard]
         pendings: List[Optional[Arrival]] = [next(it, None) for it in iters]
         records = [shard.loop.begin() for shard in self.shards]
@@ -134,11 +166,26 @@ class StreamService:
                     due.append((t, values, shard.entry_source))
                     pendings[i] = next(iters[i], None)
                 closed.append(shard.loop.run_period(records[i], k, due))
-            self.coordinator.rebalance(k, self.shards, closed)
+            if svc_tracer is not None:
+                with svc_tracer.span("coordinator"):
+                    self.coordinator.rebalance(k, self.shards, closed)
+            else:
+                self.coordinator.rebalance(k, self.shards, closed)
         for shard, record in zip(self.shards, records):
             shard.loop.finish(record, n_periods)
         wall = _time.perf_counter() - wall_start
         base_target = self.shards[0].base_target
+        health_summary = None
+        if monitor is not None:
+            monitor.finalize()
+            monitor.close()
+            health_summary = monitor.summary()
+        trace_summary = None
+        if svc_tracer is not None:
+            flames = {shard.name: shard.loop.tracer.flame()
+                      for shard in self.shards}
+            flames["service"] = svc_tracer.flame()
+            trace_summary = merge_flames(flames, wall_seconds=wall)
         return ServiceResult(
             mode=self.coordinator.mode,
             base_target=base_target,
@@ -146,6 +193,8 @@ class StreamService:
                            for shard, record in zip(self.shards, records)},
             coordinator_history=list(self.coordinator.history),
             wall_seconds=wall,
+            health=health_summary,
+            trace_summary=trace_summary,
         )
 
 
@@ -176,4 +225,5 @@ def build_service(config: "ExperimentConfig",
         headroom_ceiling=svc.headroom_ceiling,
         loss_bound=svc.loss_bound,
     )
-    return StreamService(shards, router, coordinator)
+    return StreamService(shards, router, coordinator,
+                         health=svc.health, trace=svc.trace)

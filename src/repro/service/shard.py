@@ -36,6 +36,7 @@ from ..core import (
 )
 from ..dsms import EngineProtocol, identification_network, make_engine
 from ..errors import ServiceError
+from ..obs.events import AlphaCapped, HeadroomChanged
 from ..shedding import BoundedEntryShedder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
@@ -104,10 +105,15 @@ class EngineShard:
             raise ServiceError(
                 f"shard headroom must be in (0, 1], got {headroom}"
             )
+        old = self.engine.headroom
         self.engine.headroom = float(headroom)
         self.model = replace(self.model, headroom=float(headroom))
         self.loop.monitor.model = self.model
         self.loop.controller.model = self.model
+        bus = self.loop.bus
+        if bus and headroom != old:
+            bus.emit(HeadroomChanged(old=old, new=float(headroom),
+                                     shard=self.name))
 
     def set_target(self, target: float) -> None:
         """Adjust the delay target the loop regulates toward."""
@@ -121,6 +127,10 @@ class EngineShard:
         shedder = getattr(self.loop.actuator, "shedder", None)
         if isinstance(shedder, BoundedEntryShedder):
             shedder.cap(alpha_cap)
+            bus = self.loop.bus
+            if bus and alpha_cap < 1.0:
+                # only a binding cap is news; cap=1.0 just lifts a prior one
+                bus.emit(AlphaCapped(cap=float(alpha_cap), shard=self.name))
 
     # ------------------------------------------------------------------ #
     # coordinator observation points

@@ -31,8 +31,11 @@ import tempfile
 from pathlib import Path
 from typing import List, Optional
 
+from ..obs.logconf import get_logger
 from .arrivals import Arrival, arrivals_from_trace
 from .trace import RateTrace
+
+_log = get_logger("workloads")
 
 #: cache entries below this expected tuple count are not worth the disk IO
 CACHE_MIN_TUPLES = 5000
@@ -88,11 +91,15 @@ def cached_arrivals_from_trace(trace: RateTrace,
     path = cache_dir / f"{key}.pkl"
     try:
         with open(path, "rb") as fh:
-            return pickle.load(fh)
+            arrivals = pickle.load(fh)
+        _log.debug("trace cache hit %s (%d arrivals)", key[:12], len(arrivals))
+        return arrivals
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
         pass  # miss or corrupt entry: regenerate (and try to repair)
     arrivals = arrivals_from_trace(trace, source=source, n_fields=n_fields,
                                    poisson=poisson, seed=seed)
+    _log.debug("trace cache miss %s: materialized %d arrivals",
+               key[:12], len(arrivals))
     _write_atomic(path, arrivals)
     return arrivals
 

@@ -134,6 +134,8 @@ def test_full_engine_matches_fluid_throughput():
 @needs_numpy
 def test_batch_engine_reports_late_arrivals_like_the_others():
     """All backends count clock-rewritten arrivals the same way."""
+    from repro.obs import get_bus
+
     engines = [
         make_engine("fluid", cost=COST, headroom=HEADROOM),
         make_engine("batch", cost=COST, headroom=HEADROOM),
@@ -141,9 +143,12 @@ def test_batch_engine_reports_late_arrivals_like_the_others():
     for engine in engines:
         engine.submit(1.0, (), "src")
         engine.run_until(5.0)
-        with pytest.warns(Warning):
+        seen = []
+        with get_bus().subscribed(seen.append, kinds=("late_arrival",)):
             engine.submit(2.0, (0.5, 0.5, 0.5, 0.5), "src")  # behind the clock
         assert engine.late_arrivals == 1
+        assert len(seen) == 1
+        assert seen[0].engine == type(engine).__name__
 
 
 def test_make_engine_rejects_unknown_backend():

@@ -7,8 +7,8 @@ resets, and check the observable scheduling policy is unchanged against
 an unbound scan-based scheduler.
 """
 
+import logging
 import random
-import warnings
 
 import pytest
 
@@ -22,7 +22,6 @@ from repro.dsms import (
     identification_network,
     make_source_tuple,
 )
-from repro.dsms.engine import LateArrivalWarning
 
 
 def uniform_arrivals(n, rate, seed=0, fields=4):
@@ -163,25 +162,44 @@ class TestPolicyUnchanged:
 
 
 class TestLateArrivals:
-    def test_counted_and_warned_once(self):
+    def test_counted_and_logged_once(self, caplog):
         net = identification_network()
         engine = Engine(net)
         engine.submit(1.0, (0.5, 0.5, 0.5, 0.5), "src")
         engine.run_until(2.0)
-        with pytest.warns(LateArrivalWarning) as caught:
+        with caplog.at_level(logging.WARNING, logger="repro.dsms"):
             engine.submit(0.5, (0.5, 0.5, 0.5, 0.5), "src")  # in the past
             engine.submit(1.0, (0.5, 0.5, 0.5, 0.5), "src")  # also late
         assert engine.late_arrivals == 2
-        assert len(caught) == 1  # warned once per run, counted every time
+        # logged once per run, counted every time
+        assert len([r for r in caplog.records
+                    if "rewriting to 'now'" in r.message]) == 1
 
-    def test_on_time_arrivals_do_not_warn(self):
+    def test_late_arrival_events_replace_the_log_warning(self, caplog):
+        from repro.obs import get_bus
+
         net = identification_network()
         engine = Engine(net)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", LateArrivalWarning)
+        engine.submit(1.0, (0.5, 0.5, 0.5, 0.5), "src")
+        engine.run_until(2.0)
+        seen = []
+        with caplog.at_level(logging.WARNING, logger="repro.dsms"), \
+                get_bus().subscribed(seen.append, kinds=("late_arrival",)):
+            engine.submit(0.5, (0.5, 0.5, 0.5, 0.5), "src")
+            engine.submit(1.0, (0.5, 0.5, 0.5, 0.5), "src")
+        # with a subscriber every occurrence is an event and nothing is logged
+        assert [e.total for e in seen] == [1, 2]
+        assert seen[0].clock == 2.0 and seen[0].submitted == 0.5
+        assert not caplog.records
+
+    def test_on_time_arrivals_do_not_warn(self, caplog):
+        net = identification_network()
+        engine = Engine(net)
+        with caplog.at_level(logging.WARNING, logger="repro.dsms"):
             engine.submit(0.0, (0.5, 0.5, 0.5, 0.5), "src")
             engine.submit(1.0, (0.5, 0.5, 0.5, 0.5), "src")
         assert engine.late_arrivals == 0
+        assert not caplog.records
 
 
 class TestNetworkCaches:

@@ -1,0 +1,27 @@
+"""Shared isolation for observability tests.
+
+Several tests subscribe to the process-wide default bus; leaking a
+subscription would silently enable event emission for every later test in
+the session (and skew the disabled-path perf assumptions). This autouse
+fixture restores the default bus's subscriber list and the default
+registry's metrics around every test in this package.
+"""
+
+import pytest
+
+from repro.obs import get_bus, get_registry
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_bus_and_registry():
+    bus = get_bus()
+    before = list(bus._subs)
+    registry = get_registry()
+    names_before = set(registry.names())
+    yield
+    bus._subs = before
+    # drop metrics created during the test, keep pre-existing families
+    with registry._lock:
+        for name in list(registry._metrics):
+            if name not in names_before:
+                del registry._metrics[name]

@@ -1,0 +1,79 @@
+"""Unit tests for logging configuration and the env knobs."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+from repro.obs.logconf import LOGGER_NAME
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    logger = logging.getLogger(LOGGER_NAME)
+    handlers = list(logger.handlers)
+    level = logger.level
+    propagate = logger.propagate
+    yield
+    logger.handlers = handlers
+    logger.setLevel(level)
+    logger.propagate = propagate
+
+
+class TestGetLogger:
+    def test_names_land_under_the_repro_hierarchy(self):
+        assert get_logger("dsms").name == "repro.dsms"
+        assert get_logger("repro.service").name == "repro.service"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_text_output(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger("experiments").info("run %d done", 7)
+        out = stream.getvalue()
+        assert "repro.experiments" in out
+        assert "run 7 done" in out
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        get_logger("x").info("quiet")
+        get_logger("x").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", json_lines=True, stream=stream)
+        get_logger("workloads").debug("cache hit %s", "abc")
+        doc = json.loads(stream.getvalue().strip())
+        assert doc["level"] == "debug"
+        assert doc["logger"] == "repro.workloads"
+        assert doc["message"] == "cache hit abc"
+        assert "ts" in doc
+
+    def test_idempotent_reconfiguration(self):
+        s1, s2 = io.StringIO(), io.StringIO()
+        configure_logging(level="info", stream=s1)
+        configure_logging(level="info", stream=s2)
+        get_logger("x").info("once")
+        # the second call replaced the first handler: one line, second stream
+        assert s1.getvalue() == ""
+        assert s2.getvalue().count("once") == 1
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        monkeypatch.setenv("REPRO_LOG_JSON", "1")
+        stream = io.StringIO()
+        logger = configure_logging(stream=stream)
+        assert logger.level == logging.DEBUG
+        get_logger("y").debug("hello")
+        assert json.loads(stream.getvalue().strip())["message"] == "hello"
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="chatty")

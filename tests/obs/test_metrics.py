@@ -1,0 +1,185 @@
+"""Unit tests for the metrics registry, exposition and the event bridge."""
+
+import json
+import re
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.metrics import PeriodRecord
+from repro.obs import (
+    EventBus,
+    JsonlSnapshotSink,
+    MetricsRegistry,
+    install_metrics,
+)
+from repro.obs.events import (
+    DrainTruncated,
+    HeadroomChanged,
+    LateArrival,
+    PeriodDecision,
+    ShardRebalanced,
+    ShedAction,
+)
+
+# one exposition line: name{labels} value  (labels optional)
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$'
+)
+
+
+def period(k=0, delay=1.0, target=2.0, offered=100, admitted=90, alpha=0.1,
+           queue=50, shed_retro=0):
+    return PeriodRecord(
+        k=k, time=float(k + 1), target=target, delay_estimate=delay,
+        queue_length=queue, cost=0.005, inflow_rate=admitted / 1.0,
+        outflow_rate=180.0, offered=offered, admitted=admitted,
+        shed_retro=shed_retro, v=180.0, u=180.0, error=target - delay,
+        alpha=alpha,
+    )
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("tuples_total")
+        c.inc()
+        c.inc(4.0, shard="a")
+        assert c.value() == 1.0
+        assert c.value(shard="a") == 4.0
+        with pytest.raises(ObservabilityError):
+            c.inc(-1.0)
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(3.5, shard="a")
+        g.inc(-1.0, shard="a")
+        assert g.value(shard="a") == 2.5
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("delay", buckets=(0.5, 1.0, 2.0))
+        for v in (0.1, 0.7, 1.5, 9.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(11.3)
+        samples = list(h.samples())
+        # cumulative counts per le bound: 0.5 -> 1, 1.0 -> 2, 2.0 -> 3, +Inf -> 4
+        by_le = {dict(key)["le"]: value
+                 for suffix, key, value in samples if suffix == "_bucket"}
+        assert by_le == {"0.5": 1.0, "1": 2.0, "2": 3.0, "+Inf": 4.0}
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total")
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("2bad")
+        with pytest.raises(ObservabilityError):
+            reg.counter("ok_total").inc(**{"bad-label": "x"})
+
+
+class TestExposition:
+    def test_every_line_is_valid_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_tuples_total", "tuples seen").inc(7, shard="s0")
+        reg.gauge("repro_alpha").set(0.25, shard="s0")
+        h = reg.histogram("repro_delay_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5, shard="s0")
+        text = reg.prometheus_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                continue
+            assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+        assert "# TYPE repro_tuples_total counter" in text
+        assert "# TYPE repro_delay_seconds histogram" in text
+        assert 'repro_tuples_total{shard="s0"} 7' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(1, src='we"ird\\name')
+        text = reg.prometheus_text()
+        assert r'src="we\"ird\\name"' in text
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(2, shard="a")
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        doc = json.loads(json.dumps(reg.snapshot()))
+        assert doc["c_total"]["type"] == "counter"
+        assert doc["h"]["values"][""]["count"] == 1
+
+
+class TestJsonlSnapshotSink:
+    def test_appends_labeled_lines(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        sink = JsonlSnapshotSink(tmp_path / "snaps.jsonl", reg)
+        assert sink.write("after-warmup") == 0
+        reg.counter("c_total").inc()
+        assert sink.write() == 1
+        lines = [json.loads(l) for l in
+                 (tmp_path / "snaps.jsonl").read_text().splitlines()]
+        assert lines[0]["label"] == "after-warmup"
+        assert lines[0]["metrics"]["c_total"]["values"][""] == 1.0
+        assert lines[1]["metrics"]["c_total"]["values"][""] == 2.0
+
+
+class TestMetricsBridge:
+    def test_period_events_fold_into_metrics(self):
+        bus = EventBus()
+        reg = MetricsRegistry()
+        bridge = install_metrics(bus, reg)
+        bus.emit(PeriodDecision(record=period(k=0, delay=1.0)))
+        bus.emit(PeriodDecision(record=period(k=1, delay=3.0)))  # violation
+        assert bridge.periods.value(shard="main") == 2
+        assert bridge.offered.value(shard="main") == 200
+        assert bridge.admitted.value(shard="main") == 180
+        assert bridge.violations.value(shard="main") == 1
+        assert bridge.violation_ratio("main") == 0.5
+        assert bridge.delay.value(shard="main") == 3.0
+        assert bridge.delay_hist.count(shard="main") == 2
+
+    def test_shard_labels_flow_through(self):
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        bus.scoped("s1").emit(PeriodDecision(record=period()))
+        assert bridge.periods.value(shard="s1") == 1
+        assert bridge.periods.value(shard="main") == 0
+
+    def test_other_events(self):
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        bus.emit(ShedAction(k=0, action="entry", count=10, alpha=0.5))
+        bus.emit(ShedAction(k=0, action="retro", count=3, alpha=0.5))
+        bus.emit(LateArrival(engine="Engine", total=1))
+        bus.emit(DrainTruncated(leftover=42))
+        bus.emit(ShardRebalanced(k=5, mode="headroom"))
+        bus.emit(HeadroomChanged(old=0.4, new=0.6, shard="s0"))
+        assert bridge.shed.value(shard="main", action="entry") == 10
+        assert bridge.shed.value(shard="main", action="retro") == 3
+        assert bridge.late.value(shard="main", engine="Engine") == 1
+        assert bridge.truncations.value(shard="main") == 1
+        assert bridge.rebalances.value(mode="headroom") == 1
+        assert bridge.headroom.value(shard="s0") == 0.6
+
+    def test_close_stops_listening(self):
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        bridge.close()
+        assert not bus
+        bus.emit(PeriodDecision(record=period()))
+        assert bridge.periods.value(shard="main") == 0
