@@ -11,9 +11,10 @@ history). Three sections:
 * ``control_loop`` — closed-loop CTRL control cycles/second, i.e. the full
   monitor -> controller -> actuator stack including the engine;
 * ``obs_overhead`` — the same closed loop with the observability layer
-  absent, disabled (bus with no subscribers) and fully enabled (metrics
-  bridge + health monitor + tracer); the disabled path must stay within
-  5% of baseline;
+  absent, disabled (bus with no subscribers), fully enabled (metrics
+  bridge + health monitor + tracer) and relayed (every event round-tripped
+  through the cross-process manager queue); the disabled path must stay
+  within 5% of baseline;
 * ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
   (strategies x workloads) run serially vs. via the process pool;
 * ``grid_sweep`` — the Fig. 19-style tuning grid (control periods x delay
@@ -113,21 +114,27 @@ def bench_control_loop(duration: float) -> dict:
 def bench_obs_overhead(duration: float, repeats: int = 5) -> dict:
     """Cost of the observability layer on the closed CTRL loop.
 
-    Three variants of the same run, interleaved and rotated per round to
+    Four variants of the same run, interleaved and rotated per round to
     spread machine noise evenly: ``baseline`` (default silent bus — the
     pre-obs reference), ``disabled`` (an explicit bus with no
-    subscribers, i.e. every emit guard evaluated and skipped) and
+    subscribers, i.e. every emit guard evaluated and skipped),
     ``enabled`` (metrics bridge + health monitor subscribed plus a
-    per-period tracer). Each variant scores its best-of-``repeats`` wall
-    time so load spikes on shared runners drop out. The acceptance bar
-    is on the disabled path: it must stay within 5% of baseline.
+    per-period tracer) and ``relayed`` (every event serialized over the
+    cross-process manager queue and re-emitted into a metrics bridge on
+    a separate parent bus — the full :class:`repro.obs.relay.EventRelay`
+    round trip, flush included; the manager itself starts outside the
+    timed window). Each variant scores its best-of-``repeats`` wall time
+    so load spikes on shared runners drop out. The acceptance bar is on
+    the disabled path: it must stay within 5% of baseline.
     """
     from repro.obs import (
         EventBus,
+        EventRelay,
         HealthMonitor,
         MetricsRegistry,
         PeriodTracer,
         install_metrics,
+        worker_relay,
     )
 
     cfg = ExperimentConfig(duration=duration)
@@ -150,21 +157,38 @@ def bench_obs_overhead(duration: float, repeats: int = 5) -> dict:
             monitor.close()
             bridge.close()
 
+    parent_bus = EventBus()
+    relay_bridge = install_metrics(parent_bus, MetricsRegistry())
+    relay = EventRelay(bus=parent_bus, registry=relay_bridge.registry).start()
+
+    def relayed_run():
+        loop_bus = EventBus()
+        with worker_relay(relay.queue, worker="bench", bus=loop_bus):
+            record = run_strategy("CTRL", workload, cfg, bus=loop_bus)
+        relay.flush()
+        return record
+
     variants = [("baseline", baseline_run), ("disabled", disabled_run),
-                ("enabled", enabled_run)]
+                ("enabled", enabled_run), ("relayed", relayed_run)]
     best = {name: float("inf") for name, __ in variants}
     cycles = 0
-    for round_no in range(repeats):
-        order = variants[round_no % 3:] + variants[:round_no % 3]
-        for name, fn in order:
-            start = time.perf_counter()
-            record = fn()
-            best[name] = min(best[name], time.perf_counter() - start)
-            cycles = len(record.periods)
+    try:
+        for round_no in range(repeats):
+            rot = round_no % len(variants)
+            order = variants[rot:] + variants[:rot]
+            for name, fn in order:
+                start = time.perf_counter()
+                record = fn()
+                best[name] = min(best[name], time.perf_counter() - start)
+                cycles = len(record.periods)
+    finally:
+        relay.stop()
+        relay_bridge.close()
 
     cps = {name: cycles / wall for name, wall in best.items()}
     disabled_overhead = max(0.0, 1.0 - cps["disabled"] / cps["baseline"])
     enabled_overhead = max(0.0, 1.0 - cps["enabled"] / cps["baseline"])
+    relayed_overhead = max(0.0, 1.0 - cps["relayed"] / cps["baseline"])
     return {
         "sim_duration_seconds": duration,
         "repeats": repeats,
@@ -172,8 +196,10 @@ def bench_obs_overhead(duration: float, repeats: int = 5) -> dict:
         "baseline_cycles_per_second": round(cps["baseline"], 1),
         "disabled_cycles_per_second": round(cps["disabled"], 1),
         "enabled_cycles_per_second": round(cps["enabled"], 1),
+        "relayed_cycles_per_second": round(cps["relayed"], 1),
         "disabled_overhead_fraction": round(disabled_overhead, 4),
         "enabled_overhead_fraction": round(enabled_overhead, 4),
+        "relayed_overhead_fraction": round(relayed_overhead, 4),
         "disabled_within_5pct": bool(disabled_overhead <= 0.05),
     }
 
@@ -289,7 +315,7 @@ def main(argv=None) -> int:
           f"{len(STRATEGIES) * len(WORKLOADS)} jobs, "
           f"{workers} workers)...", flush=True)
     fanout = bench_figure_fanout(fanout_duration, workers)
-    print(f"obs overhead ({loop_duration:.0f}s sim x 3 variants x 3 "
+    print(f"obs overhead ({loop_duration:.0f}s sim x 4 variants x 5 "
           "repeats)...", flush=True)
     obs = bench_obs_overhead(loop_duration)
     print("grid sweep (9 periods x 5 targets, batch vs scalar)...",

@@ -10,13 +10,13 @@ Run:  python examples/quickstart.py
 
 The run is observable live through :mod:`repro.obs`: set ``REPRO_LOG=debug``
 (and optionally ``REPRO_LOG_JSON=1``) for the module loggers, and point
-``REPRO_PROM_DUMP`` at a file to get a Prometheus text scrape of the whole
-run's metrics on exit.
+``REPRO_PROM_DUMP`` at a file to get a Prometheus text scrape of the run's
+metrics, rewritten atomically every ``REPRO_PROM_DUMP_INTERVAL`` seconds
+(default 1) *while the run is in flight* — scrape it mid-run, not just at
+exit.
 """
 
-import os
 import random
-from pathlib import Path
 
 from repro.core import (
     ControlLoop,
@@ -28,7 +28,7 @@ from repro.core import (
 )
 from repro.dsms import identification_network, make_engine
 from repro.metrics.report import ascii_series
-from repro.obs import configure_logging, get_bus, install_metrics
+from repro.obs import configure_logging, get_bus, install_metrics, start_prom_dump
 from repro.workloads import arrivals_from_trace, pareto_rate_trace_with_mean
 
 TARGET_DELAY = 2.0      # seconds — the QoS requirement
@@ -41,7 +41,9 @@ def main() -> None:
     # 0. Observability: module loggers honor REPRO_LOG / REPRO_LOG_JSON,
     #    and the metrics bridge folds every bus event into counters/gauges.
     configure_logging()
-    bridge = install_metrics(get_bus())
+    install_metrics(get_bus())
+    # periodic Prometheus snapshots while the run is live (REPRO_PROM_DUMP)
+    dumper = start_prom_dump()
 
     # 1. The plant: a Borealis-like engine running a 14-operator network.
     network = identification_network(capacity=CAPACITY)
@@ -85,10 +87,10 @@ def main() -> None:
     print(f"data shed               : {qos.shed} ({100 * qos.loss_ratio:.1f}% "
           "of offered) — the price of holding the delay target")
 
-    dump = os.environ.get("REPRO_PROM_DUMP")
-    if dump:
-        Path(dump).write_text(bridge.registry.prometheus_text())
-        print(f"\nwrote Prometheus metrics scrape to {dump}")
+    if dumper is not None:
+        dumper.stop()  # one final snapshot so the file holds the full run
+        print(f"\nwrote {dumper.writes} Prometheus metrics snapshots "
+              f"to {dumper.path}")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from ..metrics.report import ascii_series, format_table, qos_table, ratio_table
+from ..obs.logconf import configure_logging, get_logger
 from .comparison import compare_both_workloads, compare_strategies
 from .config import ExperimentConfig
 from .overhead import controller_overhead
@@ -146,9 +147,15 @@ def main(argv=None) -> int:
                         help="simulated seconds per run (default 400)")
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)
+    # progress goes through the repro.* loggers (REPRO_LOG/REPRO_LOG_JSON
+    # control level and shape); only the figures' tables stay on stdout
+    configure_logging()
+    log = get_logger("experiments.cli")
     config = ExperimentConfig(duration=args.duration, seed=args.seed)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
-    for name in names:
+    for i, name in enumerate(names, start=1):
+        log.info("running %s (%d/%d, duration=%.0fs, seed=%d)",
+                 name, i, len(names), args.duration, args.seed)
         print(f"=== {name} " + "=" * (70 - len(name)))
         FIGURES[name](config)
         print()

@@ -134,6 +134,21 @@ class Job:
         return replace(self.config, seed=self.seed)
 
 
+def _execute_job_relayed(job: Job, relay_queue) -> RunRecord:
+    """Pool-worker entry point: run the job with its bus relayed home.
+
+    Module-level (and thus picklable) wrapper around :func:`execute_job`
+    that forwards every event the job emits on this worker's default bus
+    to the parent's :class:`~repro.obs.relay.EventRelay` queue, labelled
+    with this worker's pid. Only the pool path uses it — serial and
+    retry runs already emit on the parent bus directly.
+    """
+    from ..obs.relay import worker_relay  # lazy: keep plain sweeps light
+
+    with worker_relay(relay_queue):
+        return execute_job(job)
+
+
 def execute_job(job: Job) -> RunRecord:
     """Run one job to completion in the current process (deterministic)."""
     config = job.resolved_config()
@@ -203,7 +218,8 @@ def _picklable(job: Job) -> bool:
 
 def run_jobs(jobs: Sequence[Job],
              workers: Optional[int] = None,
-             timeout: Optional[float] = None) -> List[RunRecord]:
+             timeout: Optional[float] = None,
+             relay=None) -> List[RunRecord]:
     """Execute ``jobs`` and return their records in submission order.
 
     ``workers`` caps the process pool (default: :func:`default_workers`,
@@ -212,6 +228,16 @@ def run_jobs(jobs: Sequence[Job],
     exceeds it, or whose worker dies, is retried once serially in the
     parent. With ``REPRO_PARALLEL=0``, one job, or one worker, everything
     runs serially in-process — producing bit-identical records either way.
+
+    ``relay`` (a started-or-not :class:`~repro.obs.relay.EventRelay`)
+    makes pool workers stream their bus events back to the parent, so
+    live consumers — metrics, health, the :class:`~repro.obs.serve.ObsServer`
+    dashboard — observe the whole fan-out with per-worker provenance.
+    Events relayed mid-run arrive as workers produce them; call
+    ``relay.flush()`` after :func:`run_jobs` returns to barrier on the
+    tail. Serial paths (fallback, unpicklable jobs, the transient-failure
+    retry) skip the relay: their events are already live on the parent
+    bus. The relay never changes the returned records.
     """
     jobs = list(jobs)
     if not jobs:
@@ -227,10 +253,17 @@ def run_jobs(jobs: Sequence[Job],
     serial_indices = [i for i in range(len(jobs)) if i not in set(pool_indices)]
 
     if pool_indices:
+        if relay is not None:
+            relay.start()  # idempotent; caller still owns stop()
         pool = ProcessPoolExecutor(max_workers=min(workers, len(pool_indices)))
         try:
-            futures = {i: pool.submit(execute_job, jobs[i])
-                       for i in pool_indices}
+            if relay is not None:
+                futures = {i: pool.submit(_execute_job_relayed, jobs[i],
+                                          relay.queue)
+                           for i in pool_indices}
+            else:
+                futures = {i: pool.submit(execute_job, jobs[i])
+                           for i in pool_indices}
             for i, future in futures.items():
                 try:
                     results[i] = future.result(timeout=timeout)
@@ -247,7 +280,8 @@ def run_jobs(jobs: Sequence[Job],
 
 def run_jobs_keyed(jobs: Sequence[Job],
                    workers: Optional[int] = None,
-                   timeout: Optional[float] = None) -> Dict[str, RunRecord]:
+                   timeout: Optional[float] = None,
+                   relay=None) -> Dict[str, RunRecord]:
     """Like :func:`run_jobs` but returns ``{job.label: record}``.
 
     Labels must be unique across ``jobs``.
@@ -256,5 +290,5 @@ def run_jobs_keyed(jobs: Sequence[Job],
     labels = [job.label for job in jobs]
     if len(set(labels)) != len(labels):
         raise ExperimentError("job labels must be unique for keyed execution")
-    records = run_jobs(jobs, workers=workers, timeout=timeout)
+    records = run_jobs(jobs, workers=workers, timeout=timeout, relay=relay)
     return dict(zip(labels, records))

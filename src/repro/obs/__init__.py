@@ -15,6 +15,13 @@ Four pieces, all opt-in and zero-dependency:
 - **Health detectors** (:mod:`repro.obs.health`): online monitors for
   sustained QoS violation, actuator saturation, controller windup, drain
   truncation and shard imbalance, surfaced as structured reports.
+- **Live serving** (:mod:`repro.obs.serve`): an HTTP server over the bus
+  and registry — Prometheus ``/metrics``, ``/health`` + ``/status``
+  JSON, an SSE event stream and a single-file dashboard — with bounded
+  per-client buffers so slow scrapers never touch the control loop.
+- **Cross-process relay** (:mod:`repro.obs.relay`): pool workers forward
+  their events to the parent's bus with per-worker provenance, so a
+  parallel fan-out is observable from one place.
 
 Typical live-observation session::
 
@@ -31,7 +38,13 @@ Typical live-observation session::
     print(health.summary())
 """
 
-from .bus import EventBus, ScopedEmitter, get_bus
+from .bus import (
+    DROP_POLICIES,
+    BoundedSubscription,
+    EventBus,
+    ScopedEmitter,
+    get_bus,
+)
 from .events import (
     EVENT_KINDS,
     AlphaCapped,
@@ -46,33 +59,46 @@ from .events import (
     ShardRebalanced,
     ShedAction,
     TargetChanged,
+    event_to_dict,
 )
 from .health import HEALTH_KINDS, HealthMonitor, HealthReport
 from .logconf import JsonLogFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
+    SUMMARY_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     JsonlSnapshotSink,
     MetricsBridge,
     MetricsRegistry,
+    PromFileDumper,
     get_registry,
     install_metrics,
+    parse_prometheus_text,
+    start_prom_dump,
 )
+from .relay import EventRelay, relay_forwarder, worker_relay
+from .serve import ObsServer
 from .sinks import PeriodJsonlSink
 from .tracing import SEGMENTS, PeriodTracer, merge_flames
 
 __all__ = [
     # bus
     "EventBus", "ScopedEmitter", "get_bus",
+    "BoundedSubscription", "DROP_POLICIES",
     # events
     "ObsEvent", "EVENT_KINDS", "RunStarted", "PeriodDecision", "ShedAction",
     "LateArrival", "DrainTruncated", "TargetChanged", "HeadroomChanged",
     "AlphaCapped", "ShardRebalanced", "BackendSelected", "RunFinished",
+    "event_to_dict",
     # metrics
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
     "JsonlSnapshotSink", "MetricsBridge", "get_registry", "install_metrics",
+    "SUMMARY_QUANTILES", "parse_prometheus_text",
+    "PromFileDumper", "start_prom_dump",
+    # serving & relay
+    "ObsServer", "EventRelay", "worker_relay", "relay_forwarder",
     # tracing
     "PeriodTracer", "SEGMENTS", "merge_flames",
     # health

@@ -19,7 +19,7 @@ and consumers treat them as read-only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import TYPE_CHECKING, ClassVar, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -161,6 +161,26 @@ class RunFinished(ObsEvent):
     duration: float = 0.0
     drain_truncated: bool = False
     shard: Optional[str] = None
+
+
+def event_to_dict(event: ObsEvent) -> dict:
+    """A JSON-able view of any event (SSE frames, ``/status`` snapshots).
+
+    Nested dataclasses (the :class:`PeriodDecision` record) flatten to
+    plain dicts; the relay's informal ``worker`` provenance stamp rides
+    along when present.
+    """
+    doc = {"kind": event.kind}
+    if is_dataclass(event):
+        for f in fields(event):
+            value = getattr(event, f.name)
+            if is_dataclass(value) and not isinstance(value, type):
+                value = asdict(value)
+            doc[f.name] = value
+    worker = getattr(event, "worker", None)
+    if worker is not None:
+        doc["worker"] = worker
+    return doc
 
 
 #: every event kind the library emits, for subscriber validation

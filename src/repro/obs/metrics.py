@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 import threading
 from pathlib import Path
@@ -36,6 +37,9 @@ LabelKey = Tuple[Tuple[str, str], ...]
 
 #: default histogram buckets: delay-ish seconds, log-spaced
 DEFAULT_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: quantiles rendered in each histogram's derived ``_summary`` family
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 
 def _label_key(labels: Dict[str, str]) -> LabelKey:
@@ -186,6 +190,32 @@ class Histogram(Metric):
     def sum(self, **labels: str) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-interpolated quantile estimate (histogram_quantile rules).
+
+        Linear interpolation inside the bucket the rank falls in, with
+        the first finite bucket interpolated from zero; a rank landing in
+        the ``+Inf`` bucket clamps to the highest finite bound. NaN with
+        no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        key = _label_key(labels)
+        total = self._totals.get(key, 0)
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self._counts[key]):
+            if cumulative + n >= rank:
+                if n == 0:
+                    return bound
+                return lower + (bound - lower) * (rank - cumulative) / n
+            cumulative += n
+            lower = bound
+        return self.buckets[-1]
+
     def samples(self):
         for key in sorted(self._counts):
             cumulative = 0
@@ -194,6 +224,19 @@ class Histogram(Metric):
                 yield ("_bucket", key + (("le", _format_value(bound)),),
                        float(cumulative))
             yield "_bucket", key + (("le", "+Inf"),), float(self._totals[key])
+            yield "_sum", key, self._sums[key]
+            yield "_count", key, float(self._totals[key])
+
+    def summary_samples(self):
+        """Samples of the derived ``<name>_summary`` family: p50/p95/p99
+        quantile estimates plus the *same* ``_sum``/``_count`` the
+        histogram exposes, so the two views can never disagree on volume.
+        """
+        for key in sorted(self._counts):
+            labels = dict(key)
+            for q in SUMMARY_QUANTILES:
+                yield ("", key + (("quantile", _format_value(q)),),
+                       self.quantile(q, **labels))
             yield "_sum", key, self._sums[key]
             yield "_count", key, float(self._totals[key])
 
@@ -258,7 +301,14 @@ class MetricsRegistry:
     # exposition
     # ------------------------------------------------------------------ #
     def prometheus_text(self) -> str:
-        """The registry in the Prometheus text exposition format (0.0.4)."""
+        """The registry in the Prometheus text exposition format (0.0.4).
+
+        Each histogram family is followed by a derived
+        ``<name>_summary`` family (``# TYPE ... summary``) carrying
+        bucket-interpolated p50/p95/p99 quantiles with the histogram's
+        own ``_sum``/``_count`` — scrape-side dashboards get quantiles
+        without a ``histogram_quantile`` recording rule.
+        """
         lines: List[str] = []
         for name in sorted(self._metrics):
             metric = self._metrics[name]
@@ -269,6 +319,15 @@ class MetricsRegistry:
                 lines.append(
                     f"{name}{suffix}{_render_labels(key)} {_format_value(value)}"
                 )
+            if isinstance(metric, Histogram):
+                summary = f"{name}_summary"
+                if metric.help_text:
+                    lines.append(f"# HELP {summary} {metric.help_text} "
+                                 "(bucket-interpolated quantiles)")
+                lines.append(f"# TYPE {summary} summary")
+                for suffix, key, value in metric.summary_samples():
+                    lines.append(f"{summary}{suffix}{_render_labels(key)} "
+                                 f"{_format_value(value)}")
         return "\n".join(lines) + ("\n" if lines else "")
 
     def snapshot(self) -> dict:
@@ -307,6 +366,154 @@ class JsonlSnapshotSink:
             fh.write(json.dumps(doc) + "\n")
         self._seq += 1
         return self._seq - 1
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    # \\ first via a placeholder so \\n stays a backslash + n
+    return (value.replace("\\\\", "\x00")
+                 .replace(r"\n", "\n")
+                 .replace(r"\"", '"')
+                 .replace("\x00", "\\"))
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Parse 0.0.4 exposition text back into families.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples": [(name,
+    labels_dict, value), ...]}}`` with samples attached to the family
+    whose ``# TYPE`` line most recently preceded them (``_bucket``/
+    ``_sum``/``_count``/quantile samples land under their family). The
+    round-trip tests in ``tests/obs/`` hold
+    :meth:`MetricsRegistry.prometheus_text` to this grammar.
+    """
+    families: Dict[str, dict] = {}
+    current: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {"type": "untyped", "help": "",
+                                       "samples": []})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_name = rest.partition(" ")
+            families.setdefault(name, {"type": "untyped", "help": "",
+                                       "samples": []})["type"] = type_name
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ObservabilityError(
+                f"unparseable exposition line {lineno}: {line!r}"
+            )
+        sample_name, label_blob, raw_value = match.groups()
+        labels = {k: _unescape_label_value(v)
+                  for k, v in _LABEL_PAIR_RE.findall(label_blob or "")}
+        family = current if (current is not None
+                             and sample_name.startswith(current)) else sample_name
+        families.setdefault(family, {"type": "untyped", "help": "",
+                                     "samples": []})
+        families[family]["samples"].append(
+            (sample_name, labels, float(raw_value)))
+    return families
+
+
+class PromFileDumper:
+    """Periodically writes the registry's exposition text to a file.
+
+    This is what makes ``REPRO_PROM_DUMP`` a *mid-run* scrape: a daemon
+    thread rewrites the file every ``interval`` seconds (atomic
+    ``os.replace`` of a sibling temp file, so a concurrent reader never
+    sees a torn scrape), with a final write on :meth:`stop`. File-based
+    node-exporter-style collection for runs where binding the
+    :class:`~repro.obs.serve.ObsServer` HTTP port is unwanted.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 registry: Optional[MetricsRegistry] = None,
+                 interval: float = 1.0):
+        if interval <= 0:
+            raise ObservabilityError(
+                f"dump interval must be positive, got {interval}"
+            )
+        self.path = Path(path)
+        self.registry = registry if registry is not None else get_registry()
+        self.interval = float(interval)
+        self.writes = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def dump(self) -> Path:
+        """Write one scrape now (atomic); returns the path."""
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(self.registry.prometheus_text())
+        os.replace(tmp, self.path)
+        self.writes += 1
+        return self.path
+
+    def start(self) -> "PromFileDumper":
+        if self._thread is None:
+            self.dump()  # the file exists from t=0, not one interval in
+            self._thread = threading.Thread(
+                target=self._run, daemon=True, name="repro-prom-dump")
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.dump()
+
+    def stop(self) -> Path:
+        """Stop the thread and write the final scrape."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return self.dump()
+
+    def __enter__(self) -> "PromFileDumper":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_prom_dump(path: Optional[Union[str, Path]] = None,
+                    registry: Optional[MetricsRegistry] = None,
+                    interval: Optional[float] = None
+                    ) -> Optional[PromFileDumper]:
+    """Start the ``REPRO_PROM_DUMP`` periodic scrape file, if configured.
+
+    ``path`` defaults from ``REPRO_PROM_DUMP`` and ``interval`` from
+    ``REPRO_PROM_DUMP_INTERVAL`` (seconds, default 1.0). Returns the
+    running dumper, or None when no path is configured — callers can
+    unconditionally write ``dumper = start_prom_dump()`` and later
+    ``if dumper: dumper.stop()``.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_PROM_DUMP") or None
+    if path is None:
+        return None
+    if interval is None:
+        raw = os.environ.get("REPRO_PROM_DUMP_INTERVAL", "").strip()
+        try:
+            interval = float(raw) if raw else 1.0
+        except ValueError:
+            raise ObservabilityError(
+                f"REPRO_PROM_DUMP_INTERVAL must be a number, got {raw!r}"
+            ) from None
+    return PromFileDumper(path, registry=registry, interval=interval).start()
 
 
 class MetricsBridge:

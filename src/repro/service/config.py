@@ -46,6 +46,10 @@ class ServiceConfig:
     # wall-clock tracing alongside the fleet
     health: bool = False
     trace: bool = False
+    #: serve live /metrics, /health, /status, /events and the dashboard
+    #: over HTTP for the duration of the run (repro.obs.serve.ObsServer)
+    serve: bool = False
+    serve_port: Optional[int] = None    # None -> REPRO_OBS_PORT or ephemeral
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:

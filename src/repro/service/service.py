@@ -100,7 +100,8 @@ class StreamService:
 
     def __init__(self, shards: Sequence[EngineShard], router: StreamRouter,
                  coordinator: HeadroomCoordinator,
-                 bus=None, health: bool = False, trace: bool = False):
+                 bus=None, health: bool = False, trace: bool = False,
+                 serve: bool = False, serve_port: Optional[int] = None):
         if not shards:
             raise ServiceError("a service needs at least one shard")
         if router.n_shards != len(shards):
@@ -128,16 +129,61 @@ class StreamService:
         self.bus = bus if bus is not None else get_bus()
         self.health = health
         self.trace = trace
+        self.serve = serve
+        self.serve_port = serve_port
+        #: the live ObsServer while a served run is in flight; None otherwise
+        self.obs_server = None
+        self._k = -1          # last closed period, for the /status view
+        self._running = False
         for shard in self.shards:
             scoped = self.bus.scoped(shard.name)
             shard.loop.bus = scoped
             shard.engine.bus = scoped
         self.coordinator.bus = self.bus
 
+    def status(self) -> dict:
+        """A live JSON-able view of the fleet (the ``/status`` payload)."""
+        return {
+            "mode": self.coordinator.mode,
+            "period": self.period,
+            "n_shards": len(self.shards),
+            "k": self._k,
+            "running": self._running,
+            "shards": {
+                shard.name: {
+                    "headroom": shard.headroom,
+                    "target": shard.target,
+                    "alpha": shard.requested_alpha,
+                }
+                for shard in self.shards
+            },
+        }
+
     def run(self, arrivals: Sequence[Arrival], duration: float) -> ServiceResult:
-        """Drive all shards for ``duration`` seconds of virtual time."""
+        """Drive all shards for ``duration`` seconds of virtual time.
+
+        With ``serve=True`` an :class:`~repro.obs.serve.ObsServer` is up
+        for exactly the duration of this call (:attr:`obs_server` holds
+        it, e.g. to learn the bound port), serving this service's bus and
+        :meth:`status`.
+        """
         if duration <= 0:
             raise ServiceError("duration must be positive")
+        if self.serve:
+            from ..obs.serve import ObsServer  # lazy: serving is opt-in
+
+            self.obs_server = ObsServer(port=self.serve_port, bus=self.bus,
+                                        status_fn=self.status).start()
+        self._running = True
+        try:
+            return self._run(arrivals, duration)
+        finally:
+            self._running = False
+            if self.obs_server is not None:
+                self.obs_server.stop()
+                self.obs_server = None
+
+    def _run(self, arrivals: Sequence[Arrival], duration: float) -> ServiceResult:
         monitor = HealthMonitor(self.bus) if self.health else None
         svc_tracer: Optional[PeriodTracer] = None
         if self.trace:
@@ -171,6 +217,7 @@ class StreamService:
                     self.coordinator.rebalance(k, self.shards, closed)
             else:
                 self.coordinator.rebalance(k, self.shards, closed)
+            self._k = k
         for shard, record in zip(self.shards, records):
             shard.loop.finish(record, n_periods)
         wall = _time.perf_counter() - wall_start
@@ -226,4 +273,5 @@ def build_service(config: "ExperimentConfig",
         loss_bound=svc.loss_bound,
     )
     return StreamService(shards, router, coordinator,
-                         health=svc.health, trace=svc.trace)
+                         health=svc.health, trace=svc.trace,
+                         serve=svc.serve, serve_port=svc.serve_port)

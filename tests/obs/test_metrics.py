@@ -2,6 +2,7 @@
 
 import json
 import re
+import time
 
 import pytest
 
@@ -11,7 +12,10 @@ from repro.obs import (
     EventBus,
     JsonlSnapshotSink,
     MetricsRegistry,
+    PromFileDumper,
     install_metrics,
+    parse_prometheus_text,
+    start_prom_dump,
 )
 from repro.obs.events import (
     DrainTruncated,
@@ -183,3 +187,151 @@ class TestMetricsBridge:
         assert not bus
         bus.emit(PeriodDecision(record=period()))
         assert bridge.periods.value(shard="main") == 0
+
+
+class TestHistogramQuantiles:
+    def hist(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=(1.0, 2.0, 4.0))
+        return reg, h
+
+    def test_interpolated_quantiles(self):
+        __, h = self.hist()
+        for v in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+            h.observe(v)
+        # 8 observations: 2 in (0,1], 2 in (1,2], 4 in (2,4]
+        assert h.quantile(0.25) == pytest.approx(1.0)   # rank 2 tops bucket 1
+        assert h.quantile(0.5) == pytest.approx(2.0)    # rank 4 tops bucket 2
+        assert h.quantile(1.0) == pytest.approx(4.0)
+        assert h.quantile(0.75) == pytest.approx(3.0)   # halfway into (2,4]
+
+    def test_quantiles_monotonic(self):
+        __, h = self.hist()
+        for i in range(50):
+            h.observe(0.1 * (i % 40))
+        q = [h.quantile(x) for x in (0.5, 0.95, 0.99)]
+        assert q == sorted(q)
+
+    def test_empty_is_nan_and_bad_q_raises(self):
+        import math
+
+        __, h = self.hist()
+        assert math.isnan(h.quantile(0.5))
+        with pytest.raises(ObservabilityError):
+            h.quantile(1.5)
+
+    def test_inf_rank_clamps_to_last_finite_bound(self):
+        __, h = self.hist()
+        h.observe(100.0)  # lands in the +Inf bucket
+        assert h.quantile(0.99) == 4.0
+
+
+class TestSummaryExposition:
+    def test_summary_family_rendered_with_consistent_sum_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "help here", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 1.5):
+            h.observe(v, shard="s0")
+        text = reg.prometheus_text()
+        assert "# TYPE lat_seconds histogram" in text
+        assert "# TYPE lat_seconds_summary summary" in text
+        for q in (0.5, 0.95, 0.99):
+            assert f'quantile="{q}"' in text
+        # the derived family reports the histogram's own volume, verbatim
+        families = parse_prometheus_text(text)
+        by_name = {}
+        for name, labels, value in families["lat_seconds_summary"]["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        assert by_name["lat_seconds_summary_sum"][0][1] == h.sum(shard="s0")
+        assert by_name["lat_seconds_summary_count"][0][1] == h.count(shard="s0")
+        assert all(lbl["shard"] == "s0"
+                   for samples in by_name.values() for lbl, __ in samples)
+
+
+class TestPrometheusRoundTrip:
+    def test_full_registry_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs").inc(5, worker='pid1/"w\\0"')
+        reg.gauge("alpha").set(0.25, shard="s1")
+        h = reg.histogram("lat_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5, shard="s0")
+        h.observe(1.5, shard="s0")
+        families = parse_prometheus_text(reg.prometheus_text())
+
+        assert families["jobs_total"]["type"] == "counter"
+        assert families["jobs_total"]["help"] == "jobs"
+        assert families["jobs_total"]["samples"] == [
+            ("jobs_total", {"worker": 'pid1/"w\\0"'}, 5.0)]
+        assert families["alpha"]["samples"] == [
+            ("alpha", {"shard": "s1"}, 0.25)]
+
+        assert families["lat_seconds"]["type"] == "histogram"
+        hist_samples = {(name, labels.get("le")): value
+                        for name, labels, value
+                        in families["lat_seconds"]["samples"]}
+        assert hist_samples[("lat_seconds_bucket", "1")] == 1.0
+        assert hist_samples[("lat_seconds_bucket", "2")] == 2.0
+        assert hist_samples[("lat_seconds_bucket", "+Inf")] == 2.0
+        assert hist_samples[("lat_seconds_sum", None)] == 2.0
+        assert hist_samples[("lat_seconds_count", None)] == 2.0
+        assert families["lat_seconds_summary"]["type"] == "summary"
+
+    def test_every_line_matches_the_exposition_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        reg.histogram("h_seconds").observe(1.0)
+        for line in reg.prometheus_text().splitlines():
+            if line.startswith("#"):
+                continue
+            assert _SAMPLE_RE.match(line), line
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ObservabilityError):
+            parse_prometheus_text("!! not exposition !!")
+
+
+class TestPromFileDumper:
+    def test_mid_run_snapshots_land_before_stop(self, tmp_path):
+        reg = MetricsRegistry()
+        counter = reg.counter("ticks_total")
+        path = tmp_path / "prom.txt"
+        dumper = PromFileDumper(path, registry=reg, interval=0.05)
+        dumper.start()
+        try:
+            assert path.exists(), "first snapshot is written at start"
+            counter.inc(3)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if "ticks_total 3" in path.read_text():
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("mid-run snapshot never reflected the counter")
+        finally:
+            dumper.stop()
+        assert dumper.writes >= 3  # start + periodic + final
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_start_prom_dump_honours_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "dump.txt"
+        monkeypatch.delenv("REPRO_PROM_DUMP", raising=False)
+        assert start_prom_dump() is None
+        monkeypatch.setenv("REPRO_PROM_DUMP", str(path))
+        monkeypatch.setenv("REPRO_PROM_DUMP_INTERVAL", "0.05")
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        dumper = start_prom_dump(registry=reg)
+        try:
+            assert dumper is not None
+            assert dumper.interval == 0.05
+        finally:
+            dumper.stop()
+        assert "c_total 1" in path.read_text()
+
+    def test_bad_interval_rejected(self, tmp_path, monkeypatch):
+        with pytest.raises(ObservabilityError):
+            PromFileDumper(tmp_path / "x", interval=0.0)
+        monkeypatch.setenv("REPRO_PROM_DUMP", str(tmp_path / "x"))
+        monkeypatch.setenv("REPRO_PROM_DUMP_INTERVAL", "soon")
+        with pytest.raises(ObservabilityError):
+            start_prom_dump()
