@@ -17,6 +17,10 @@ history). Three sections:
   within 5% of baseline;
 * ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
   (strategies x workloads) run serially vs. via the process pool;
+* ``fleet`` — the 4-shard hotspot service run lockstep vs. as a per-shard
+  process fleet (sync mode): aggregates must match bit-for-bit, and the
+  wall-clock speedup is recorded alongside ``cpu_count`` (parallel
+  speedups are only asserted on multi-core machines);
 * ``grid_sweep`` — the Fig. 19-style tuning grid (control periods x delay
   targets, 400 s runs) on the vectorized batch backend vs. the scalar
   ``VirtualQueueEngine`` path, including a full QoS cross-check: violation
@@ -281,11 +285,40 @@ def bench_figure_fanout(duration: float, workers: int) -> dict:
     return {
         "jobs": len(jobs),
         "workers": workers,
+        # a pool cannot beat serial without a second core; trend checks
+        # gate the speedup comparison on this
+        "cpu_count": os.cpu_count(),
         "sim_duration_seconds": duration,
         "serial_wall_seconds": round(serial_wall, 4),
         "parallel_wall_seconds": round(parallel_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 2),
         "records_identical": identical,
+    }
+
+
+def bench_fleet(duration: float) -> dict:
+    """Lockstep service vs true-parallel process fleet, 4 shards.
+
+    Runs the hotspot workload through both runners off the same specs.
+    The hard bar is correctness — sync-mode fleet aggregates must match
+    the lockstep records bit-for-bit; the speedup is reported per
+    machine and only meaningful when ``cpu_count >= 2`` (one worker per
+    shard cannot beat one process on one core).
+    """
+    from repro.experiments import FleetComparison, fleet_comparison
+    from repro.service import FleetConfig
+
+    cfg = ExperimentConfig(duration=duration)
+    fc = FleetConfig(n_shards=4, n_sources=4)
+    comp = fleet_comparison(cfg, fc)
+    return {
+        "shards": fc.n_shards,
+        "cpu_count": os.cpu_count(),
+        "sim_duration_seconds": duration,
+        "lockstep_wall_seconds": round(comp.lockstep.wall_seconds, 4),
+        "fleet_wall_seconds": round(comp.fleet.wall_seconds, 4),
+        "speedup": round(comp.speedup, 2),
+        "aggregates_match": comp.aggregates_match(),
     }
 
 
@@ -315,6 +348,9 @@ def main(argv=None) -> int:
           f"{len(STRATEGIES) * len(WORKLOADS)} jobs, "
           f"{workers} workers)...", flush=True)
     fanout = bench_figure_fanout(fanout_duration, workers)
+    print(f"process fleet ({fanout_duration:.0f}s sim, 4 shards, "
+          "lockstep vs fleet)...", flush=True)
+    fleet = bench_fleet(fanout_duration)
     print(f"obs overhead ({loop_duration:.0f}s sim x 4 variants x 5 "
           "repeats)...", flush=True)
     obs = bench_obs_overhead(loop_duration)
@@ -337,6 +373,7 @@ def main(argv=None) -> int:
         "control_loop": loop,
         "obs_overhead": obs,
         "figure_fanout": fanout,
+        "fleet": fleet,
         "grid_sweep": grid,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -346,6 +383,10 @@ def main(argv=None) -> int:
     failures = []
     if not fanout["records_identical"]:
         failures.append("parallel records diverged from serial records")
+    if not fleet["aggregates_match"]:
+        failures.append(
+            "sync-mode fleet aggregates diverged from the lockstep service"
+        )
     if report["engine_throughput"]["single_process_speedup"] < 1.0:
         failures.append("optimized engine slower than the legacy path")
     if not obs["disabled_within_5pct"]:

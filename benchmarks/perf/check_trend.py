@@ -10,6 +10,14 @@ metric fails the build:
 * ``grid_sweep.speedup`` (batch backend vs scalar engine on the Fig. 19
   tuning grid)
 
+Two *parallel* speedups — ``figure_fanout.speedup`` (process pool vs
+serial) and ``fleet.speedup`` (per-shard process fleet vs lockstep) —
+are checked the same way, but only when the section's recorded
+``cpu_count`` is at least 2 in both reports: on a single-CPU machine a
+process pool/fleet cannot beat one process, so a sub-1x "speedup" there
+is machine topology, not a regression (and asserting on it would make
+the check flap between runner shapes).
+
 Throughput *gains* never fail; CI runners are noisy, so the tolerance is
 deliberately loose — the check exists to catch order-of-magnitude
 regressions (an accidentally quadratic hot path), not 5% jitter. Update
@@ -40,6 +48,11 @@ METRICS = (
     "control_loop.cycles_per_second",
     "grid_sweep.speedup",
 )
+
+#: sections whose ``speedup`` only means anything on multi-core machines;
+#: each is guarded like METRICS but skipped unless the section's own
+#: ``cpu_count`` is >= 2 in both reports
+PARALLEL_SECTIONS = ("figure_fanout", "fleet")
 
 
 def dig(doc: dict, dotted: str) -> float:
@@ -80,6 +93,36 @@ def main(argv=None) -> int:
         change = (now - base) / base
         status = "OK" if change >= -args.tolerance else "REGRESSION"
         print(f"{metric}: baseline {base:.1f} -> fresh {now:.1f} "
+              f"({change:+.1%}) [{status}]")
+        if status == "REGRESSION":
+            failures.append(
+                f"{metric} dropped {-change:.1%} "
+                f"(> {args.tolerance:.0%} allowed)"
+            )
+
+    for section in PARALLEL_SECTIONS:
+        metric = f"{section}.speedup"
+        base_sec = baseline.get(section)
+        fresh_sec = fresh.get(section)
+        if base_sec is None or fresh_sec is None:
+            print(f"{metric}: section missing from "
+                  f"{'baseline' if base_sec is None else 'fresh'} report, "
+                  "skipping")
+            continue
+        cpus = min(int(base_sec.get("cpu_count") or 1),
+                   int(fresh_sec.get("cpu_count") or 1))
+        if cpus < 2:
+            print(f"{metric}: cpu_count {cpus} < 2, parallel speedup "
+                  "not meaningful on this machine, skipping")
+            continue
+        base = float(base_sec["speedup"])
+        now = float(fresh_sec["speedup"])
+        if base <= 0:
+            print(f"{metric}: baseline {base} not positive, skipping")
+            continue
+        change = (now - base) / base
+        status = "OK" if change >= -args.tolerance else "REGRESSION"
+        print(f"{metric}: baseline {base:.2f} -> fresh {now:.2f} "
               f"({change:+.1%}) [{status}]")
         if status == "REGRESSION":
             failures.append(

@@ -44,8 +44,10 @@ from .runner import (
 )
 from .service_demo import (
     DEFAULT_MODES,
+    FleetComparison,
     ServiceComparison,
     build_service_workload,
+    fleet_comparison,
     run_service_experiment,
     service_comparison,
 )
@@ -84,6 +86,7 @@ __all__ = [
     "QUICK_CONFIG",
     "RetunedAuroraResult",
     "STRATEGIES",
+    "FleetComparison",
     "ServiceComparison",
     "SetpointResult",
     "StepResponseResult",
@@ -108,6 +111,7 @@ __all__ = [
     "run_batch_grid",
     "run_jobs",
     "run_jobs_keyed",
+    "fleet_comparison",
     "run_service_experiment",
     "run_strategy",
     "scalar_reference",

@@ -251,41 +251,10 @@ def _build_schedule(config: ExperimentConfig, cost_trace,
                                  count=len(prefix)))
     if P < K:
         # continue from the engine's exact head-tuple progress
-        p_cpu = engine._progress
-        cell = cost_trace.period if cost_trace is not None else None
-        seg_t: List[float] = []
-        seg_n: List[int] = []
-        seg_pitch: List[float] = []
-        for k in range(P, K):
-            start = k * T
-            pre = (k + 1) * T - cycle / h
-            cpu[k] = (pre - start) * h
-            bounds = [start]
-            if cell is not None:
-                j = math.floor(start / cell + 1e-9) + 1
-                while j * cell < pre - 1e-12:
-                    bounds.append(j * cell)
-                    j += 1
-            bounds.append(pre)
-            for s, e in zip(bounds[:-1], bounds[1:]):
-                c = base if mult is None else base * mult(s)
-                budget = (e - s) * h
-                first = max(0.0, c - p_cpu)
-                if budget < first:
-                    p_cpu += budget
-                    continue
-                n = 1 + int((budget - first) / c + 1e-12)
-                p_cpu = max(budget - first - (n - 1) * c, 0.0)
-                seg_t.append(s + first / h)
-                seg_n.append(n)
-                seg_pitch.append(c / h)
-        if seg_n:
-            ns = np.asarray(seg_n)
-            rep_t = np.repeat(np.asarray(seg_t), ns)
-            rep_p = np.repeat(np.asarray(seg_pitch), ns)
-            intra = np.arange(int(ns.sum())) - np.repeat(
-                np.cumsum(ns) - ns, ns)
-            parts.append(rep_t + intra * rep_p)
+        cont = _analytic_continuation(config, cost_trace, P,
+                                      engine._progress, cpu)
+        if len(cont):
+            parts.append(cont)
     times = np.concatenate(parts) if parts else np.empty(0)
     boundaries = np.arange(1, K + 1) * T
     cum = np.concatenate(
@@ -293,6 +262,166 @@ def _build_schedule(config: ExperimentConfig, cost_trace,
     ).astype(np.int64)
     return _Schedule(times=times, cum=cum, sat=np.diff(cum), cpu=cpu,
                      prefix_periods=P)
+
+
+def _reference_continuation(config: ExperimentConfig, cost_trace, P: int,
+                            p_cpu: float, cpu: "np.ndarray") -> "np.ndarray":
+    """Scalar reference for the analytic busy-server continuation.
+
+    The original per-period/per-segment Python loop, kept verbatim as the
+    pinning oracle for :func:`_analytic_continuation` — the vectorized
+    version must reproduce these completion instants (to float dust) and
+    their exact count. Mutates ``cpu[P:]`` like the vectorized path.
+    """
+    T = config.period
+    K = config.n_periods
+    h = config.headroom
+    cycle = config.control_overhead
+    base = config.base_cost
+    mult = (cost_trace.as_multiplier(base) if cost_trace is not None
+            else None)
+    cell = cost_trace.period if cost_trace is not None else None
+    seg_t: List[float] = []
+    seg_n: List[int] = []
+    seg_pitch: List[float] = []
+    for k in range(P, K):
+        start = k * T
+        pre = (k + 1) * T - cycle / h
+        cpu[k] = (pre - start) * h
+        bounds = [start]
+        if cell is not None:
+            j = math.floor(start / cell + 1e-9) + 1
+            while j * cell < pre - 1e-12:
+                bounds.append(j * cell)
+                j += 1
+        bounds.append(pre)
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            c = base if mult is None else base * mult(s)
+            budget = (e - s) * h
+            first = max(0.0, c - p_cpu)
+            if budget < first:
+                p_cpu += budget
+                continue
+            n = 1 + int((budget - first) / c + 1e-12)
+            p_cpu = max(budget - first - (n - 1) * c, 0.0)
+            seg_t.append(s + first / h)
+            seg_n.append(n)
+            seg_pitch.append(c / h)
+    if not seg_n:
+        return np.empty(0)
+    ns = np.asarray(seg_n)
+    rep_t = np.repeat(np.asarray(seg_t), ns)
+    rep_p = np.repeat(np.asarray(seg_pitch), ns)
+    intra = np.arange(int(ns.sum())) - np.repeat(np.cumsum(ns) - ns, ns)
+    return rep_t + intra * rep_p
+
+
+def _analytic_continuation(config: ExperimentConfig, cost_trace, P: int,
+                           p_cpu: float, cpu: "np.ndarray") -> "np.ndarray":
+    """Vectorized busy-server continuation (periods ``P..K``).
+
+    Replaces :func:`_reference_continuation`'s per-period loop with array
+    construction in three steps:
+
+    1. **segments** — every period contributes one serving window
+       ``[k*T, (k+1)*T - cycle/h)`` split at cost-trace cell boundaries;
+       segment starts/ends/costs come from one ragged scatter (the
+       boundary predicate ``j*cell < pre - 1e-12`` is re-applied exactly,
+       so segmentation matches the scalar loop segment-for-segment);
+    2. **runs** — consecutive segments with the same per-tuple cost merge
+       into runs; within a run completions tick uniformly in *CPU budget*
+       coordinates, so each run needs only the head-tuple progress at
+       entry. That recursion is inherently sequential but O(#cost
+       changes), a few hundred plain-float ops instead of one Python
+       iteration per period per segment;
+    3. **expansion** — completions materialize via one global
+       ``searchsorted`` of their budget coordinates into the segment
+       budget prefix-sum, mapping budget back to wall-clock inside the
+       owning segment.
+
+    While a lane is saturated this reproduces the scalar engine's tuple
+    clock; the pinning test asserts count equality and time agreement
+    against :func:`_reference_continuation` on real workloads.
+    """
+    T = config.period
+    K = config.n_periods
+    h = config.headroom
+    cycle = config.control_overhead
+    base = config.base_cost
+    ks = np.arange(P, K)
+    starts = ks * T
+    pres = (ks + 1) * T - cycle / h
+    cpu[P:K] = (pres - starts) * h
+
+    # --- 1. segment boundaries at cost-trace cells -------------------- #
+    if cost_trace is not None:
+        cell = cost_trace.period
+        j0 = np.floor(starts / cell + 1e-9).astype(np.int64) + 1
+        nb = np.maximum(
+            np.ceil((pres - 1e-12) / cell).astype(np.int64) - j0, 0)
+        # the scalar predicate is j*cell < pre - 1e-12; undo any off-by-one
+        # the ceil rounding introduced at exact-boundary floats
+        over = (nb > 0) & ~((j0 + nb - 1) * cell < pres - 1e-12)
+        nb = nb - over
+        nb = nb + ((j0 + nb) * cell < pres - 1e-12)
+    else:
+        nb = np.zeros(len(ks), dtype=np.int64)
+    nseg = nb + 1
+    S = int(nseg.sum())
+    first = np.cumsum(nseg) - nseg
+    rep = np.repeat(np.arange(len(ks)), nseg)
+    intra = np.arange(S) - first[rep]
+    seg_s = np.where(intra == 0, starts[rep], 0.0)
+    seg_e = np.where(intra == nb[rep], pres[rep], 0.0)
+    if cost_trace is not None:
+        seg_s = np.where(intra > 0, (j0[rep] + intra - 1) * cell, seg_s)
+        seg_e = np.where(intra < nb[rep], (j0[rep] + intra) * cell, seg_e)
+        vals = np.asarray(cost_trace.values)
+        idx = np.clip((seg_s // cell).astype(np.int64), 0, len(vals) - 1)
+        # the same float ops as ``base * mult(s)`` — bit-equal costs
+        c = base * (vals[idx] / base)
+    else:
+        c = np.full(S, base)
+    B = (seg_e - seg_s) * h
+
+    # --- 2. equal-cost runs + the O(R) head-tuple recursion ----------- #
+    change = np.empty(S, dtype=bool)
+    change[0] = True
+    np.not_equal(c[1:], c[:-1], out=change[1:])
+    run_first = np.flatnonzero(change)
+    R = len(run_first)
+    run_last = np.concatenate([run_first[1:], [S]]) - 1
+    run_c = c[run_first]
+    run_L = np.add.reduceat(B, run_first)
+    cumB = np.cumsum(B)
+    cumBprev = cumB - B
+    run_base = cumBprev[run_first]
+    q0s = np.empty(R)
+    Ms = np.empty(R, dtype=np.int64)
+    p = float(p_cpu)
+    lc = run_c.tolist()
+    lL = run_L.tolist()
+    for r in range(R):
+        cr = lc[r]
+        q0 = p if p < cr else cr
+        x = q0 + lL[r]
+        M = int(x / cr + 1e-12)
+        p = x - M * cr
+        if p < 0.0:
+            p = 0.0
+        q0s[r] = q0
+        Ms[r] = M
+
+    # --- 3. expand completions, map budget -> wall-clock -------------- #
+    Mtot = int(Ms.sum())
+    if Mtot == 0:
+        return np.empty(0)
+    rrep = np.repeat(np.arange(R), Ms)
+    m = np.arange(Mtot) - np.repeat(np.cumsum(Ms) - Ms, Ms)
+    u = run_base[rrep] + (m + 1) * run_c[rrep] - q0s[rrep]
+    j = np.searchsorted(cumB, u, side="left")
+    j = np.clip(j, run_first[rrep], run_last[rrep])
+    return seg_s[j] + (u - cumBprev[j]) / h
 
 
 def _ragged_indices(dst_starts, src_starts, lengths):

@@ -59,6 +59,8 @@ from .events import (
     ShardRebalanced,
     ShedAction,
     TargetChanged,
+    WorkerDown,
+    WorkerRestarted,
     event_to_dict,
 )
 from .health import HEALTH_KINDS, HealthMonitor, HealthReport
@@ -78,7 +80,7 @@ from .metrics import (
     parse_prometheus_text,
     start_prom_dump,
 )
-from .relay import EventRelay, relay_forwarder, worker_relay
+from .relay import CommandChannel, EventRelay, relay_forwarder, worker_relay
 from .serve import ObsServer
 from .sinks import PeriodJsonlSink
 from .tracing import SEGMENTS, PeriodTracer, merge_flames
@@ -91,6 +93,7 @@ __all__ = [
     "ObsEvent", "EVENT_KINDS", "RunStarted", "PeriodDecision", "ShedAction",
     "LateArrival", "DrainTruncated", "TargetChanged", "HeadroomChanged",
     "AlphaCapped", "ShardRebalanced", "BackendSelected", "RunFinished",
+    "WorkerDown", "WorkerRestarted",
     "event_to_dict",
     # metrics
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
@@ -99,6 +102,7 @@ __all__ = [
     "PromFileDumper", "start_prom_dump",
     # serving & relay
     "ObsServer", "EventRelay", "worker_relay", "relay_forwarder",
+    "CommandChannel",
     # tracing
     "PeriodTracer", "SEGMENTS", "merge_flames",
     # health

@@ -163,6 +163,33 @@ class RunFinished(ObsEvent):
     shard: Optional[str] = None
 
 
+@dataclass
+class WorkerDown(ObsEvent):
+    """A fleet shard's worker process died before finishing its run.
+
+    Emitted by the parent (:class:`~repro.service.fleet.ProcessFleet`)
+    when it notices the dead process, before spawning the replacement.
+    ``last_k`` is the last period the parent had acknowledged — the
+    replacement replays up to there from the command journal.
+    """
+
+    kind: ClassVar[str] = "worker_down"
+    exitcode: Optional[int] = None
+    restarts: int = 0
+    last_k: int = -1
+    shard: Optional[str] = None
+
+
+@dataclass
+class WorkerRestarted(ObsEvent):
+    """A replacement worker finished its replay and rejoined the fleet."""
+
+    kind: ClassVar[str] = "worker_restarted"
+    resumed_k: int = -1
+    restarts: int = 0
+    shard: Optional[str] = None
+
+
 def event_to_dict(event: ObsEvent) -> dict:
     """A JSON-able view of any event (SSE frames, ``/status`` snapshots).
 
@@ -188,6 +215,6 @@ EVENT_KINDS = tuple(
     cls.kind for cls in (
         RunStarted, PeriodDecision, ShedAction, LateArrival, DrainTruncated,
         TargetChanged, HeadroomChanged, AlphaCapped, ShardRebalanced,
-        BackendSelected, RunFinished,
+        BackendSelected, RunFinished, WorkerDown, WorkerRestarted,
     )
 )

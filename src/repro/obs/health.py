@@ -25,7 +25,13 @@ watches the per-period decision stream for sustained pathologies:
     across a fleet, the spread between the worst and best shard's delay
     estimate has exceeded ``imbalance_spread`` times the mean in-force
     target for ``imbalance_patience`` consecutive periods — load is
-    skewed and (if the coordinator is enabled) rebalancing is overdue.
+    skewed and (if the coordinator is enabled) rebalancing is overdue;
+``worker_down``
+    a process-fleet shard worker died mid-run (one episode per outage,
+    opened on :class:`~repro.obs.events.WorkerDown` and closed when the
+    replacement's :class:`~repro.obs.events.WorkerRestarted` arrives, so
+    an episode still ``open`` at the end of the run means the shard
+    never rejoined).
 
 Detectors report *episodes*: one :class:`HealthReport` per contiguous
 stretch of bad periods, updated in place while the episode lasts.
@@ -43,7 +49,7 @@ SEVERITY_WARNING = "warning"
 SEVERITY_CRITICAL = "critical"
 
 HEALTH_KINDS = ("qos_violation", "actuator_saturated", "controller_windup",
-                "drain_truncated", "shard_imbalance")
+                "drain_truncated", "shard_imbalance", "worker_down")
 
 
 @dataclass
@@ -128,8 +134,10 @@ class HealthMonitor:
         self._u_prev: Dict[str, float] = {}
         self._fleet: Dict[int, Dict[str, Tuple[float, float]]] = {}
         self._imbalance = _Streak()
+        self._down: Dict[str, HealthReport] = {}
         self.bus.subscribe(self._on_event,
-                           kinds=("period", "drain_truncated"))
+                           kinds=("period", "drain_truncated",
+                                  "worker_down", "worker_restarted"))
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -172,6 +180,29 @@ class HealthMonitor:
     def _on_event(self, event: ObsEvent) -> None:
         if event.kind == "period":
             self._on_period(event)
+        elif event.kind == "worker_down":
+            shard = event.shard or "main"
+            report = HealthReport(
+                kind="worker_down",
+                shard=shard,
+                severity=SEVERITY_CRITICAL,
+                first_k=event.last_k, last_k=event.last_k,
+                value=float(event.restarts),
+                detail=(f"shard worker died (exit {event.exitcode}) after "
+                        f"period {event.last_k}; restart "
+                        f"#{event.restarts} replays from the command "
+                        "journal"),
+            )
+            self._down[shard] = report
+            self._reports.append(report)
+        elif event.kind == "worker_restarted":
+            report = self._down.pop(event.shard or "main", None)
+            if report is not None:
+                report.open = False
+                report.last_k = event.resumed_k
+                report.detail += (
+                    f"; replacement replayed to period {event.resumed_k} "
+                    "and rejoined")
         elif event.kind == "drain_truncated":
             self._reports.append(HealthReport(
                 kind="drain_truncated",

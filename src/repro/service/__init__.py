@@ -5,13 +5,19 @@ scales it out: N engine shards each run their own Monitor -> Controller ->
 Actuator loop, a stream router partitions sources across them, and a
 global headroom coordinator aggregates per-shard delay estimates every
 control period and rebalances the fleet (CPU shares, delay budgets, and a
-global drop bound). See README.md "Sharded service layer" for a
-quickstart and docs/THEORY.md §7 for why the coordinated loops stay
-stable.
+global drop bound). Two runners share the configs:
+:class:`~repro.service.service.StreamService` steps every shard in
+lockstep inside one process;
+:class:`~repro.service.fleet.ProcessFleet` promotes each shard to its
+own worker process under a parent-resident coordinator, with failure
+recovery by deterministic replay. See README.md "Sharded service layer"
+/ "Process fleet" for quickstarts and docs/THEORY.md §7/§11 for why the
+coordinated loops stay stable.
 """
 
-from .config import DEFAULT_TOTAL_HEADROOM, ServiceConfig
+from .config import DEFAULT_TOTAL_HEADROOM, FleetConfig, ServiceConfig
 from .coordinator import MODES, HeadroomCoordinator
+from .fleet import ProcessFleet, ShardProxy, build_fleet
 from .router import ExplicitRouter, HashRouter, StreamRouter, make_router
 from .service import ServiceResult, StreamService, build_service
 from .shard import SHARD_CONTROLLERS, EngineShard, build_shard
@@ -20,14 +26,18 @@ __all__ = [
     "DEFAULT_TOTAL_HEADROOM",
     "EngineShard",
     "ExplicitRouter",
+    "FleetConfig",
     "HashRouter",
     "HeadroomCoordinator",
     "MODES",
+    "ProcessFleet",
     "SHARD_CONTROLLERS",
     "ServiceConfig",
     "ServiceResult",
+    "ShardProxy",
     "StreamRouter",
     "StreamService",
+    "build_fleet",
     "build_service",
     "build_shard",
     "make_router",

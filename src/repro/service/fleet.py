@@ -1,0 +1,577 @@
+"""The process fleet: one worker process per shard, true CPU parallelism.
+
+:class:`~repro.service.service.StreamService` steps N shards in lockstep
+inside one Python process, so the "fleet" shares one GIL and gains no
+throughput from extra cores. :class:`ProcessFleet` promotes each
+:class:`~repro.service.shard.EngineShard` to its own worker process — the
+deployment shape of the paper's Borealis target, where every node advances
+autonomously while a supervisor rebalances load:
+
+* each **worker** builds its shard locally (from the same picklable specs
+  :func:`~repro.service.service.build_service` uses, same seeds) and
+  drives the stepped :class:`~repro.core.loop.ControlLoop` API over its
+  router slice of the arrivals, one Monitor -> Controller -> Actuator
+  cycle per control period, shipping a per-period summary (the closed
+  :class:`~repro.metrics.recorder.PeriodRecord` plus the armed drop
+  demand) up a shared queue;
+* the **parent** runs the unchanged
+  :class:`~repro.service.coordinator.HeadroomCoordinator` over
+  :class:`ShardProxy` stand-ins — once a period's row of summaries is
+  complete it rebalances exactly as the lockstep service would, and the
+  resulting headroom / target / drop-cap ops go back down a per-shard
+  :class:`~repro.obs.relay.CommandChannel` queue;
+* **observability** reuses the PR-5 relay uplink unchanged: with
+  ``relay=True`` (implied by ``serve``/``health``) each worker attaches
+  :func:`~repro.obs.relay.worker_relay`, so every worker event lands on
+  the parent bus labelled ``pid<pid>/<shard>``.
+
+Two execution modes (``FleetConfig.sync``):
+
+* **sync** — a command barrier per period: a worker blocks for the
+  coordinator's (possibly empty) op list for period ``k`` before opening
+  period ``k+1``. Because the coordinator then runs the identical
+  arithmetic on identical per-period records in the identical order, the
+  fleet's records match the lockstep service float-for-float — the
+  determinism contract that makes recovery-by-replay possible at all;
+* **async** — no barrier: workers free-run their control periods at
+  wall-clock speed and apply coordinator ops whenever they arrive (the
+  paper's supervisory layer was never synchronous either; docs/THEORY.md
+  §11 argues why the per-shard loops stay stable under late commands).
+
+**Failure/restart.** Engines hold closures and live event state, so a
+shard checkpoint is not a pickle — it is a *recipe*: the build spec, the
+arrival slice, and the journal of coordinator ops per period (all three
+already live in the parent). When a worker dies, the parent drains its
+queues, emits :class:`~repro.obs.events.WorkerDown`, and spawns a
+replacement that silently replays periods ``0..last_acked`` applying the
+journalled ops at the exact period boundaries the original applied them
+(sync mode), then emits :class:`~repro.obs.events.WorkerRestarted` and
+rejoins live. Determinism makes the replayed incarnation bit-identical to
+the lost one, so fleet aggregates come out as if nothing had died.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import time as _time
+import traceback
+from contextlib import nullcontext
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from ..errors import ServiceError
+from ..metrics.recorder import PeriodRecord, RunRecord
+from ..obs.bus import EventBus, get_bus
+from ..obs.events import WorkerDown, WorkerRestarted
+from ..obs.health import HealthMonitor
+from ..obs.relay import CommandChannel, EventRelay, worker_relay
+from .config import FleetConfig, ServiceConfig
+from .coordinator import HeadroomCoordinator
+from .router import make_router
+from .service import Arrival, ServiceResult
+from .shard import build_shard
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from ..experiments.config import ExperimentConfig
+
+#: the prime stride build_service uses for per-shard engine seeds;
+#: workers must derive the identical seed to reproduce the lockstep run
+_SEED_STRIDE = 104729
+
+
+class _LoopView:
+    """The one ``loop`` attribute the coordinator reads off a shard."""
+
+    __slots__ = ("period",)
+
+    def __init__(self, period: float):
+        self.period = period
+
+
+class ShardProxy:
+    """Parent-side stand-in for a worker-resident :class:`EngineShard`.
+
+    Duck-types exactly the surface
+    :class:`~repro.service.coordinator.HeadroomCoordinator` touches —
+    ``headroom`` / ``base_target`` / ``requested_alpha`` / ``loop.period``
+    to observe, ``set_headroom`` / ``set_target`` / ``cap_alpha`` to
+    mutate. Mutations update the proxy's view (so the next rebalance
+    observes what the lockstep service would) and append a pickled op for
+    the worker, which applies it through the real shard's method — same
+    validation, same model replacement, same events, just one process
+    away.
+    """
+
+    def __init__(self, name: str, headroom: float, base_target: float,
+                 period: float):
+        self.name = name
+        self.headroom = float(headroom)
+        self.base_target = float(base_target)
+        self.target = float(base_target)
+        self.requested_alpha = 0.0
+        self.loop = _LoopView(period)
+        self._ops: List[Tuple[str, float]] = []
+
+    def set_headroom(self, headroom: float) -> None:
+        if not 0.0 < headroom <= 1.0:  # same guard as EngineShard
+            raise ServiceError(
+                f"shard headroom must be in (0, 1], got {headroom}"
+            )
+        self.headroom = float(headroom)
+        self._ops.append(("headroom", float(headroom)))
+
+    def set_target(self, target: float) -> None:
+        if target < 0:
+            raise ServiceError(f"negative delay target {target}")
+        self.target = float(target)
+        self._ops.append(("target", float(target)))
+
+    def cap_alpha(self, alpha_cap: float) -> None:
+        self._ops.append(("alpha_cap", float(alpha_cap)))
+
+    def take_ops(self) -> List[Tuple[str, float]]:
+        """The ops accumulated since the last call (journal + downlink)."""
+        ops, self._ops = self._ops, []
+        return ops
+
+
+def _apply_ops(shard, ops: Sequence[Tuple[str, float]]) -> None:
+    """Apply journalled/downlinked coordinator ops to the real shard."""
+    for op, value in ops:
+        if op == "headroom":
+            shard.set_headroom(value)
+        elif op == "target":
+            shard.set_target(value)
+        elif op == "alpha_cap":
+            shard.cap_alpha(value)
+        else:
+            raise ServiceError(f"unknown coordinator op {op!r}")
+
+
+def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
+                  headroom: float, engine_seed: int,
+                  arrivals: Sequence[Arrival], n_periods: int,
+                  summary_queue, command_queue, relay_queue,
+                  journal: Dict[int, list], resume_k: int, restart_no: int,
+                  fail_k: Optional[int]) -> None:
+    """One shard's whole life, in its own process.
+
+    Replays periods ``0..resume_k`` silently (no summaries, no relay —
+    the parent already accounted for them), then goes live: close a
+    period, ship its summary, and in sync mode block for the
+    coordinator's op barrier before opening the next. ``fail_k`` is the
+    failure-injection test hook: the first incarnation dies abruptly at
+    the start of that period.
+    """
+    try:
+        shard = build_shard(
+            name, config,
+            headroom=headroom,
+            target=config.target,
+            strategy=svc.strategy,
+            engine_seed=engine_seed,
+            drain_max_extra=svc.drain_max_extra,
+            backend=svc.backend,
+        )
+        # a fresh private bus: the process-default bus may carry forked
+        # parent subscribers, and a silent bus keeps un-relayed fleets at
+        # one truthiness check per emit site
+        bus = EventBus()
+        scoped = bus.scoped(name)
+        shard.loop.bus = scoped
+        shard.engine.bus = scoped
+        period = shard.loop.period
+        patience = svc.worker_patience
+
+        it = iter(arrivals)
+        pending = next(it, None)
+
+        def due_before(boundary: float) -> List[Arrival]:
+            nonlocal pending
+            due: List[Arrival] = []
+            while pending is not None and pending[0] < boundary:
+                t, values, _source = pending
+                due.append((t, values, shard.entry_source))
+                pending = next(it, None)
+            return due
+
+        def await_ops(k: int) -> None:
+            while True:
+                try:
+                    msg = command_queue.get(timeout=patience)
+                except _queue.Empty:
+                    raise ServiceError(
+                        f"shard {name!r} waited {patience:.0f}s for the "
+                        f"coordinator's period-{k} commands"
+                    ) from None
+                __, kk, ops = msg
+                if kk < k:     # stale barrier from before a parent drain
+                    continue
+                if kk != k:
+                    raise ServiceError(
+                        f"shard {name!r} expected period-{k} commands, "
+                        f"got period-{kk}"
+                    )
+                _apply_ops(shard, ops)
+                return
+
+        def drain_ops() -> None:
+            while True:
+                try:
+                    __, __k, ops = command_queue.get_nowait()
+                except _queue.Empty:
+                    return
+                _apply_ops(shard, ops)
+
+        record = shard.loop.begin()
+        # --- silent replay of the lost incarnation ---------------------- #
+        for k in range(resume_k + 1):
+            shard.loop.run_period(record, k, due_before((k + 1) * period))
+            if k in journal:
+                _apply_ops(shard, journal[k])
+        if svc.sync and resume_k >= 0 and resume_k not in journal:
+            # the row we died on had not been rebalanced yet; the barrier
+            # op for it arrives over the live channel once it closes
+            await_ops(resume_k)
+
+        # --- live ------------------------------------------------------- #
+        relay_ctx = (worker_relay(relay_queue, bus=bus)
+                     if relay_queue is not None else nullcontext())
+        with relay_ctx:
+            summary_queue.put(("ready", name, resume_k, restart_no,
+                               os.getpid()))
+            for k in range(resume_k + 1, n_periods):
+                if fail_k is not None and k == fail_k and restart_no == 0:
+                    os._exit(17)  # test hook: die without flushing anything
+                p = shard.loop.run_period(record, k,
+                                          due_before((k + 1) * period))
+                summary_queue.put(("summary", name, k, p,
+                                   shard.requested_alpha))
+                if svc.sync:
+                    await_ops(k)
+                else:
+                    drain_ops()
+            shard.loop.finish(record, n_periods)
+            summary_queue.put(("done", name, record, restart_no))
+    except BaseException:
+        try:
+            summary_queue.put(("error", name, traceback.format_exc()))
+        finally:
+            raise
+
+
+@dataclass
+class _WorkerState:
+    """Parent-side bookkeeping for one shard's worker (all incarnations)."""
+
+    index: int
+    slice: Sequence[Arrival]
+    proc: Optional[object] = None
+    pid: Optional[int] = None
+    restarts: int = 0
+    last_acked: int = -1
+    journal: Dict[int, list] = field(default_factory=dict)
+    record: Optional[RunRecord] = None
+    dead_since: Optional[float] = None
+
+
+class ProcessFleet:
+    """N shard worker processes under one parent-resident coordinator.
+
+    Drop-in counterpart of :class:`~repro.service.service.StreamService`:
+    same configs, same :class:`~repro.service.service.ServiceResult` out
+    (``trace_summary`` excepted — per-period tracers do not cross the
+    process boundary). ``fail_at`` maps shard names to the period at
+    which their *first* worker incarnation kills itself — the failure
+    injection hook the restart tests drive.
+    """
+
+    def __init__(self, config: "ExperimentConfig", svc: ServiceConfig,
+                 bus=None, fail_at: Optional[Dict[str, int]] = None):
+        if not isinstance(svc, FleetConfig):
+            svc = FleetConfig(**{f.name: getattr(svc, f.name)
+                                 for f in fields(ServiceConfig)})
+        if svc.trace:
+            raise ServiceError(
+                "per-period tracing does not cross the process boundary; "
+                "run the lockstep StreamService with trace=True instead"
+            )
+        if svc.start_method is not None:
+            available = multiprocessing.get_all_start_methods()
+            if svc.start_method not in available:
+                raise ServiceError(
+                    f"start method {svc.start_method!r} unavailable here; "
+                    f"pick from {available}"
+                )
+        self.config = config
+        self.svc = svc
+        self.bus = bus if bus is not None else get_bus()
+        self.fail_at = dict(fail_at or {})
+        unknown = set(self.fail_at) - set(svc.shard_names)
+        if unknown:
+            raise ServiceError(f"fail_at names unknown shards {sorted(unknown)}")
+        assignments = (svc.default_assignments()
+                       if svc.router == "explicit" else None)
+        self.router = make_router(svc.router, svc.n_shards, assignments)
+        self.coordinator = HeadroomCoordinator(
+            mode=svc.mode,
+            gain=svc.rebalance_gain,
+            headroom_floor=svc.headroom_floor,
+            headroom_ceiling=svc.headroom_ceiling,
+            loss_bound=svc.loss_bound,
+        )
+        self.coordinator.bus = self.bus
+        self.period = config.period
+        headrooms = svc.initial_headrooms()
+        self.proxies = [
+            ShardProxy(name, headrooms[i], config.target, config.period)
+            for i, name in enumerate(svc.shard_names)
+        ]
+        self.obs_server = None
+        self._states: Dict[str, _WorkerState] = {}
+        self._k = -1
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # live views
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """A live JSON-able view of the fleet (the ``/status`` payload)."""
+        return {
+            "mode": self.coordinator.mode,
+            "period": self.period,
+            "n_shards": len(self.proxies),
+            "k": self._k,
+            "running": self._running,
+            "sync": self.svc.sync,
+            "shards": {
+                proxy.name: {
+                    "headroom": proxy.headroom,
+                    "target": proxy.target,
+                    "alpha": proxy.requested_alpha,
+                    "pid": state.pid if state else None,
+                    "restarts": state.restarts if state else 0,
+                    "last_k": state.last_acked if state else -1,
+                }
+                for proxy, state in (
+                    (p, self._states.get(p.name)) for p in self.proxies
+                )
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # the run
+    # ------------------------------------------------------------------ #
+    def run(self, arrivals: Sequence[Arrival],
+            duration: float) -> ServiceResult:
+        """Drive the fleet for ``duration`` seconds of virtual time."""
+        if duration <= 0:
+            raise ServiceError("duration must be positive")
+        if self.svc.serve:
+            from ..obs.serve import ObsServer  # lazy: serving is opt-in
+
+            self.obs_server = ObsServer(port=self.svc.serve_port,
+                                        bus=self.bus,
+                                        status_fn=self.status).start()
+        self._running = True
+        try:
+            return self._run(arrivals, duration)
+        finally:
+            self._running = False
+            if self.obs_server is not None:
+                self.obs_server.stop()
+                self.obs_server = None
+
+    def _mp_context(self):
+        method = self.svc.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else None
+        return multiprocessing.get_context(method)
+
+    def _run(self, arrivals: Sequence[Arrival],
+             duration: float) -> ServiceResult:
+        svc = self.svc
+        names = list(svc.shard_names)
+        monitor = HealthMonitor(self.bus) if svc.health else None
+        wall_start = _time.perf_counter()
+        n_periods = int(round(duration / self.period))
+        per_shard = self.router.partition(arrivals)
+        ctx = self._mp_context()
+        summary_q = ctx.Queue()
+        channel = CommandChannel(ctx)
+        relay = None
+        if svc.relay or svc.serve or svc.health:
+            relay = EventRelay(bus=self.bus).start()
+        states = {name: _WorkerState(index=i, slice=per_shard[i])
+                  for i, name in enumerate(names)}
+        self._states = states
+        headrooms = svc.initial_headrooms()
+        pending_rows: Dict[int, Dict[str, Tuple[PeriodRecord, float]]] = {}
+        next_row = 0
+        done_count = 0
+        last_progress = _time.monotonic()
+
+        def spawn(name: str) -> None:
+            st = states[name]
+            cmd_q = channel.register(name)
+            st.proc = ctx.Process(
+                target=_fleet_worker,
+                name=f"repro-fleet-{name}",
+                daemon=True,
+                args=(name, self.config, svc, headrooms[st.index],
+                      self.config.seed + _SEED_STRIDE * (st.index + 1),
+                      st.slice, n_periods, summary_q, cmd_q,
+                      relay.queue if relay is not None else None,
+                      dict(st.journal), st.last_acked, st.restarts,
+                      self.fail_at.get(name)),
+            )
+            st.dead_since = None
+            st.proc.start()
+
+        def close_row(k: int) -> None:
+            row = pending_rows.pop(k)
+            closed = [row[name][0] for name in names]
+            for proxy, name in zip(self.proxies, names):
+                proxy.requested_alpha = row[name][1]
+            self.coordinator.rebalance(k, self.proxies, closed)
+            for proxy, name in zip(self.proxies, names):
+                ops = proxy.take_ops()
+                states[name].journal[k] = ops
+                if svc.sync or ops:
+                    channel.send(name, ("ops", k, ops))
+            self._k = k
+
+        def handle(msg) -> int:
+            nonlocal next_row
+            kind = msg[0]
+            if kind == "summary":
+                __, name, k, prec, alpha = msg
+                st = states[name]
+                if k <= st.last_acked:   # superseded incarnation's tail
+                    return 0
+                st.last_acked = k
+                pending_rows.setdefault(k, {})[name] = (prec, alpha)
+                while (next_row in pending_rows
+                       and len(pending_rows[next_row]) == len(names)):
+                    close_row(next_row)
+                    next_row += 1
+                return 0
+            if kind == "ready":
+                __, name, resumed_k, restart_no, pid = msg
+                states[name].pid = pid
+                if restart_no > 0 and self.bus:
+                    self.bus.emit(WorkerRestarted(
+                        resumed_k=resumed_k, restarts=restart_no,
+                        shard=name))
+                return 0
+            if kind == "done":
+                __, name, record, __restart = msg
+                if states[name].record is None:
+                    states[name].record = record
+                    return 1
+                return 0
+            if kind == "error":
+                __, name, tb = msg
+                raise ServiceError(f"shard {name!r} worker failed:\n{tb}")
+            raise ServiceError(f"unknown fleet message {kind!r}")
+
+        def handle_failure(name: str) -> None:
+            st = states[name]
+            exitcode = st.proc.exitcode if st.proc is not None else None
+            st.restarts += 1
+            if st.restarts > svc.max_restarts:
+                raise ServiceError(
+                    f"shard {name!r} worker died (exit {exitcode}) and "
+                    f"exhausted max_restarts={svc.max_restarts}"
+                )
+            if self.bus:
+                self.bus.emit(WorkerDown(exitcode=exitcode,
+                                         restarts=st.restarts,
+                                         last_k=st.last_acked, shard=name))
+            # stale barrier commands must not reach the replacement
+            channel.drain(name)
+            spawn(name)
+
+        def check_deaths() -> None:
+            now = _time.monotonic()
+            for name, st in states.items():
+                if st.record is not None or st.proc is None:
+                    continue
+                if st.proc.is_alive():
+                    st.dead_since = None
+                    continue
+                if st.dead_since is None:
+                    # give the dead process's queue feeder pipe a moment
+                    # to deliver its final messages before declaring loss
+                    st.dead_since = now
+                elif now - st.dead_since > 0.5:
+                    handle_failure(name)
+
+        try:
+            for name in names:
+                spawn(name)
+            while done_count < len(names):
+                try:
+                    msg = summary_q.get(timeout=0.2)
+                except _queue.Empty:
+                    msg = None
+                if msg is not None:
+                    last_progress = _time.monotonic()
+                    done_count += handle(msg)
+                    continue
+                check_deaths()
+                if _time.monotonic() - last_progress > svc.worker_patience:
+                    raise ServiceError(
+                        f"fleet stalled: no worker progress for "
+                        f"{svc.worker_patience:.0f}s (next row {next_row}, "
+                        f"{done_count}/{len(names)} done)"
+                    )
+            wall = _time.perf_counter() - wall_start
+            health_summary = None
+            if monitor is not None:
+                if relay is not None:
+                    relay.flush()
+                monitor.finalize()
+                monitor.close()
+                health_summary = monitor.summary()
+                monitor = None
+            return ServiceResult(
+                mode=self.coordinator.mode,
+                base_target=self.config.target,
+                shard_records={name: states[name].record for name in names},
+                coordinator_history=list(self.coordinator.history),
+                wall_seconds=wall,
+                health=health_summary,
+                trace_summary=None,
+            )
+        finally:
+            for st in states.values():
+                if st.proc is not None and st.proc.is_alive():
+                    st.proc.terminate()
+            for st in states.values():
+                if st.proc is not None:
+                    st.proc.join(timeout=2.0)
+            channel.close()
+            summary_q.close()
+            summary_q.cancel_join_thread()
+            if relay is not None:
+                relay.stop()
+            if monitor is not None:
+                monitor.close()
+
+
+def build_fleet(config: "ExperimentConfig",
+                svc: ServiceConfig,
+                bus=None,
+                fail_at: Optional[Dict[str, int]] = None) -> ProcessFleet:
+    """Assemble a process fleet from picklable specs.
+
+    Mirror of :func:`~repro.service.service.build_service`: the same
+    ``(config, svc)`` pair builds either runner, and in sync mode both
+    produce identical records.
+    """
+    return ProcessFleet(config, svc, bus=bus, fail_at=fail_at)

@@ -117,3 +117,67 @@ def test_results_keyed_independently_of_shared_inputs():
         GridPoint(config=QUICK_CONFIG, strategy="AURORA", key="b"),
     ])
     assert paired[0].qos == lone.qos
+
+
+@pytest.mark.parametrize("kind,beta,use_trace", [
+    ("web", 1.0, True),
+    ("pareto", 1.5, True),
+    ("web", 1.0, False),
+])
+def test_analytic_continuation_pins_to_scalar_reference(kind, beta,
+                                                        use_trace):
+    """The vectorized schedule continuation is the scalar loop, exactly.
+
+    Same completion *count* (the tuple clock must not gain or lose a
+    tick) and the same instants to float dust, reconstructed from the
+    same saturated-engine starting state on real workloads.
+    """
+    import numpy as np
+
+    from repro.dsms import make_engine
+    from repro.experiments.batch_sweep import (
+        _analytic_continuation,
+        _build_schedule,
+        _point_inputs,
+        _reference_continuation,
+    )
+
+    config = dataclasses.replace(QUICK_CONFIG, use_cost_trace=use_trace)
+    point = GridPoint(config=config, workload_kind=kind, beta=beta)
+    __, cost_trace, arrivals = _point_inputs(point)
+    schedule = _build_schedule(config, cost_trace, arrivals)
+    P = schedule.prefix_periods
+    assert P < config.n_periods, "workload never saturated the server"
+
+    # rebuild the event-exact prefix to recover the head-tuple progress
+    # the continuation starts from
+    T, h, cyc = config.period, config.headroom, config.control_overhead
+    mult = (cost_trace.as_multiplier(config.base_cost)
+            if cost_trace is not None else None)
+    engine = make_engine("fluid", cost=config.base_cost, headroom=h,
+                         cost_multiplier=mult)
+    it = iter(arrivals)
+    pending = next(it, None)
+    for k in range(P):
+        boundary = (k + 1) * T
+        while pending is not None and pending[0] < boundary:
+            t = pending[0]
+            if t > engine.now:
+                engine.run_until(t)
+            engine.submit(max(t, k * T, engine.now))
+            pending = next(it, None)
+        engine.run_until(max(boundary - cyc / h, engine.now))
+        if cyc:
+            engine.consume_cpu(cyc)
+        engine.run_until(max(boundary, engine.now))
+    progress = engine._progress
+
+    cpu_ref = np.zeros(config.n_periods)
+    cpu_vec = np.zeros(config.n_periods)
+    ref = _reference_continuation(config, cost_trace, P, progress, cpu_ref)
+    vec = _analytic_continuation(config, cost_trace, P, progress, cpu_vec)
+
+    assert len(vec) == len(ref)
+    assert len(ref) > 0
+    assert np.allclose(vec, ref, rtol=0.0, atol=1e-8)
+    assert np.array_equal(cpu_ref, cpu_vec)
