@@ -24,7 +24,10 @@ history). Three sections:
 * ``grid_sweep`` — the Fig. 19-style tuning grid (control periods x delay
   targets, 400 s runs) on the vectorized batch backend vs. the scalar
   ``VirtualQueueEngine`` path, including a full QoS cross-check: violation
-  time and loss ratio must agree within 1% on every grid point.
+  time and loss ratio must agree within 1% on every grid point;
+* ``ingest`` — the real-time serving front-end: pre-encoded wire frames
+  blasted over a loopback TCP socket into the asyncio ``IngestServer``,
+  measuring decode+stamp tuples/second (the ceiling on live offered load).
 
 Usage::
 
@@ -40,6 +43,7 @@ import json
 import os
 import platform
 import random
+import socket
 import sys
 import time
 from datetime import datetime, timezone
@@ -322,6 +326,50 @@ def bench_fleet(duration: float) -> dict:
     }
 
 
+def bench_ingest(n_tuples: int) -> dict:
+    """Serving front-end throughput over loopback TCP.
+
+    A client blasts ``n_tuples`` pre-encoded wire frames down one
+    connection as fast as the kernel accepts them; the clock runs from
+    the first byte sent until the ingest buffer has stamped the last
+    tuple, so the number is the decode+stamp ceiling of the asyncio
+    front-end — the most offered load a live run can ever see.
+    """
+    from repro.core.clock import WallClock
+    from repro.serve.ingest import IngestBuffer, IngestServer
+    from repro.serve.protocol import encode_tuple
+
+    clock = WallClock()
+    clock.start()
+    buf = IngestBuffer(clock, maxlen=n_tuples + 1)
+    server = IngestServer(buf, port=0)
+    server.start()
+    payload = b"".join(
+        encode_tuple((i % 97, i % 89, i % 83, i % 79))
+        for i in range(n_tuples)
+    )
+    try:
+        start = time.perf_counter()
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=30.0) as sock:
+            sock.sendall(payload)
+            deadline = start + 300.0
+            while buf.accepted < n_tuples and time.perf_counter() < deadline:
+                time.sleep(0.001)
+        wall = time.perf_counter() - start
+    finally:
+        server.stop()
+    return {
+        "tuples": n_tuples,
+        "payload_bytes": len(payload),
+        "accepted": buf.accepted,
+        "dropped": buf.dropped,
+        "wall_seconds": round(wall, 4),
+        "tuples_per_second": round(buf.accepted / wall, 1),
+        "mbytes_per_second": round(len(payload) / wall / 1e6, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--full", action="store_true",
@@ -334,6 +382,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     n_tuples = 60_000 if args.full else 20_000
+    ingest_tuples = 200_000 if args.full else 50_000
     loop_duration = 400.0 if args.full else 120.0
     fanout_duration = 400.0 if args.full else 60.0
     workers = args.workers or max(2, min(4, os.cpu_count() or 1))
@@ -357,6 +406,9 @@ def main(argv=None) -> int:
     print("grid sweep (9 periods x 5 targets, batch vs scalar)...",
           flush=True)
     grid = bench_grid_sweep(400.0)
+    print(f"ingest front-end ({ingest_tuples} tuples over loopback)...",
+          flush=True)
+    ingest = bench_ingest(ingest_tuples)
 
     report = {
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -375,6 +427,7 @@ def main(argv=None) -> int:
         "figure_fanout": fanout,
         "fleet": fleet,
         "grid_sweep": grid,
+        "ingest": ingest,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -399,6 +452,11 @@ def main(argv=None) -> int:
             "batch grid sweep diverged from the scalar engine by more "
             f"than 1% (violation err {grid['worst_violation_err']}, "
             f"loss err {grid['worst_loss_err']})"
+        )
+    if ingest["accepted"] < ingest["tuples"]:
+        failures.append(
+            f"ingest front-end lost frames ({ingest['accepted']}/"
+            f"{ingest['tuples']} stamped)"
         )
     for failure in failures:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)

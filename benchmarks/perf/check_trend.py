@@ -9,6 +9,8 @@ metric fails the build:
 * ``control_loop.cycles_per_second``
 * ``grid_sweep.speedup`` (batch backend vs scalar engine on the Fig. 19
   tuning grid)
+* ``ingest.tuples_per_second`` (wire frames decoded and stamped by the
+  real-time serving front-end over loopback TCP)
 
 Two *parallel* speedups — ``figure_fanout.speedup`` (process pool vs
 serial) and ``fleet.speedup`` (per-shard process fleet vs lockstep) —
@@ -47,6 +49,7 @@ METRICS = (
     "engine_throughput.after_optimized.tuples_per_second",
     "control_loop.cycles_per_second",
     "grid_sweep.speedup",
+    "ingest.tuples_per_second",
 )
 
 #: sections whose ``speedup`` only means anything on multi-core machines;

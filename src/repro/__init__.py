@@ -26,6 +26,7 @@ from .errors import (
     ObservabilityError,
     ReproError,
     SchedulingError,
+    ServeError,
     ServiceError,
     SheddingError,
     UnstableDesignError,
@@ -39,6 +40,7 @@ __all__ = [
     "ObservabilityError",
     "ReproError",
     "SchedulingError",
+    "ServeError",
     "ServiceError",
     "SheddingError",
     "UnstableDesignError",

@@ -15,6 +15,7 @@ from .actuator import (
     SemanticEntryActuator,
 )
 from .adaptive import AdaptiveController, RlsGainEstimator
+from .clock import Clock, ManualClock, WallClock
 from .controller import (
     AuroraOpenLoopController,
     BackpressureController,
@@ -60,6 +61,7 @@ __all__ = [
     "AuroraOpenLoopController",
     "BackpressureController",
     "BaselineController",
+    "Clock",
     "ControlDecision",
     "ControlLoop",
     "Controller",
@@ -73,6 +75,7 @@ __all__ = [
     "LastValueEstimator",
     "HoltPredictor",
     "LastValuePredictor",
+    "ManualClock",
     "Measurement",
     "Monitor",
     "MovingAveragePredictor",
@@ -85,6 +88,7 @@ __all__ = [
     "RlsGainEstimator",
     "SamplingActuator",
     "SemanticEntryActuator",
+    "WallClock",
     "WindowAdaptationActuator",
     "WindowMedianEstimator",
     "design_gains",

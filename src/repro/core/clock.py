@@ -1,0 +1,116 @@
+"""Clock abstraction for wall-clock (real-time) control periods.
+
+Everything else in this reproduction runs on the engine's *virtual*
+clock: ``run_until`` advances simulated time instantly, so a 400-period
+experiment completes in milliseconds. The paper's deployment, however,
+is a live Borealis node where control periods are real seconds and the
+monitor measures real queueing delay. :class:`WallClock` is the bridge:
+it anchors an epoch at :meth:`start` and reports seconds-since-start,
+so wall timestamps land directly on the engine's virtual time axis
+(both are "seconds since the run began").
+
+:class:`ManualClock` implements the same surface with explicitly
+advanced time, so the real-time machinery (ingest stamping, period
+tickers) stays deterministically testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class Clock:
+    """Minimal clock surface shared by wall and manual clocks."""
+
+    def start(self) -> None:
+        """Anchor the epoch (no-op for clocks that don't need one)."""
+
+    def now(self) -> float:
+        """Seconds since the clock's epoch."""
+        raise NotImplementedError
+
+    def wait_until(self, deadline: float,
+                   stop: Optional[threading.Event] = None) -> float:
+        """Block until ``now() >= deadline`` (or ``stop`` is set).
+
+        Returns the *lateness* ``now() - deadline`` on wakeup (>= 0 when
+        the deadline was reached; may be negative if ``stop`` fired
+        early). Lateness is the period-jitter signal surfaced by the
+        live runner.
+        """
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, measured from a monotonic epoch anchored at :meth:`start`.
+
+    Uses :func:`time.monotonic` so NTP slews and system-clock jumps
+    cannot move a control-period boundary. ``start()`` is idempotent;
+    ``now()`` before ``start()`` anchors the epoch implicitly.
+    """
+
+    def __init__(self) -> None:
+        self._epoch: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        """Anchor the epoch: from here on ``now()`` counts real seconds."""
+        with self._lock:
+            if self._epoch is None:
+                self._epoch = time.monotonic()
+
+    @property
+    def started(self) -> bool:
+        """True once the epoch has been anchored."""
+        return self._epoch is not None
+
+    def now(self) -> float:
+        if self._epoch is None:
+            self.start()
+        return time.monotonic() - self._epoch
+
+    def wait_until(self, deadline: float,
+                   stop: Optional[threading.Event] = None) -> float:
+        while True:
+            remaining = deadline - self.now()
+            if remaining <= 0.0:
+                return -remaining
+            if stop is not None:
+                # Event.wait returns True the moment stop is set, so a
+                # shutdown request never waits out the rest of a period.
+                if stop.wait(timeout=min(remaining, 0.1)):
+                    return self.now() - deadline
+            else:
+                time.sleep(min(remaining, 0.1))
+
+
+class ManualClock(Clock):
+    """Deterministic clock for tests: time moves only via :meth:`advance`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds and wake any waiters."""
+        if dt < 0:
+            raise ValueError(f"cannot move a clock backwards (dt={dt})")
+        with self._cond:
+            self._now += dt
+            self._cond.notify_all()
+
+    def wait_until(self, deadline: float,
+                   stop: Optional[threading.Event] = None) -> float:
+        with self._cond:
+            while self._now < deadline:
+                if stop is not None and stop.is_set():
+                    return self._now - deadline
+                # Poll-wait: advance() notifies, stop has no hook here.
+                self._cond.wait(timeout=0.05)
+            return self._now - deadline

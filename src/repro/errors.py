@@ -49,3 +49,7 @@ class ServiceError(ReproError):
 
 class ObservabilityError(ReproError):
     """Errors in the observability layer (bus, metrics registry, tracing)."""
+
+
+class ServeError(ReproError):
+    """Errors in the real-time serving front-end (ingestion, wire protocol)."""

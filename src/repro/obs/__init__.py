@@ -51,6 +51,7 @@ from .events import (
     BackendSelected,
     DrainTruncated,
     HeadroomChanged,
+    IngestStats,
     LateArrival,
     ObsEvent,
     PeriodDecision,
@@ -92,7 +93,8 @@ __all__ = [
     # events
     "ObsEvent", "EVENT_KINDS", "RunStarted", "PeriodDecision", "ShedAction",
     "LateArrival", "DrainTruncated", "TargetChanged", "HeadroomChanged",
-    "AlphaCapped", "ShardRebalanced", "BackendSelected", "RunFinished",
+    "AlphaCapped", "ShardRebalanced", "BackendSelected", "IngestStats",
+    "RunFinished",
     "WorkerDown", "WorkerRestarted",
     "event_to_dict",
     # metrics

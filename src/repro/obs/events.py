@@ -164,6 +164,30 @@ class RunFinished(ObsEvent):
 
 
 @dataclass
+class IngestStats(ObsEvent):
+    """One control period's ingestion-side counters (live serving mode).
+
+    Emitted by the live runner just before it feeds the period's arrivals
+    to the loop, so the period's SSE frame and the dashboard see the
+    ingest state that produced it. Counts are per-period deltas except
+    ``buffered`` (queue depth now) and the skews (latest/max observed).
+    """
+
+    kind: ClassVar[str] = "ingest"
+    k: int = 0
+    accepted: int = 0        # tuples stamped into the buffer this period
+    dropped: int = 0         # tuples refused at the full buffer this period
+    malformed: int = 0       # undecodable lines this period
+    bytes_read: int = 0      # socket bytes this period
+    connections: int = 0     # currently-open client connections
+    rate: float = 0.0        # accepted / period — offered tuples/s
+    skew: float = 0.0        # latest sender-vs-arrival clock skew (s)
+    jitter: float = 0.0      # how late the period tick fired (s)
+    buffered: int = 0        # arrivals still waiting past the boundary
+    shard: Optional[str] = None
+
+
+@dataclass
 class WorkerDown(ObsEvent):
     """A fleet shard's worker process died before finishing its run.
 
@@ -215,6 +239,7 @@ EVENT_KINDS = tuple(
     cls.kind for cls in (
         RunStarted, PeriodDecision, ShedAction, LateArrival, DrainTruncated,
         TargetChanged, HeadroomChanged, AlphaCapped, ShardRebalanced,
-        BackendSelected, RunFinished, WorkerDown, WorkerRestarted,
+        BackendSelected, IngestStats, RunFinished, WorkerDown,
+        WorkerRestarted,
     )
 )

@@ -570,12 +570,37 @@ class MetricsBridge:
         self.delay_hist = r.histogram(
             f"{p}_period_delay_seconds",
             "distribution of per-period delay estimates")
+        self.ingest_accepted = r.counter(
+            f"{p}_ingest_accepted_total",
+            "tuples accepted off the network into the ingest buffer")
+        self.ingest_dropped = r.counter(
+            f"{p}_ingest_dropped_total",
+            "tuples refused at the full ingest buffer")
+        self.ingest_malformed = r.counter(
+            f"{p}_ingest_malformed_total",
+            "undecodable lines received on the ingest socket")
+        self.ingest_bytes = r.counter(
+            f"{p}_ingest_bytes_total",
+            "raw bytes read off ingest sockets")
+        self.ingest_rate = r.gauge(
+            f"{p}_ingest_rate_tuples_per_second",
+            "offered arrival rate over the last control period")
+        self.ingest_skew = r.gauge(
+            f"{p}_ingest_skew_seconds",
+            "latest sender-vs-arrival clock skew")
+        self.tick_jitter = r.gauge(
+            f"{p}_tick_jitter_seconds",
+            "how late the last wall-clock period tick fired")
+        self.ingest_buffered = r.gauge(
+            f"{p}_ingest_buffered",
+            "arrivals waiting in the ingest buffer past the boundary")
         self._handlers = {
             "period": self._on_period,
             "shed": self._on_shed,
             "late_arrival": self._on_late,
             "drain_truncated": self._on_truncated,
             "rebalanced": self._on_rebalanced,
+            "ingest": self._on_ingest,
             "headroom_changed": self._on_headroom,
             "worker_down": self._on_worker_down,
             "worker_restarted": self._on_worker_restarted,
@@ -623,6 +648,20 @@ class MetricsBridge:
 
     def _on_rebalanced(self, event, shard: str) -> None:
         self.rebalances.inc(mode=event.mode)
+
+    def _on_ingest(self, event, shard: str) -> None:
+        if event.accepted:
+            self.ingest_accepted.inc(event.accepted, shard=shard)
+        if event.dropped:
+            self.ingest_dropped.inc(event.dropped, shard=shard)
+        if event.malformed:
+            self.ingest_malformed.inc(event.malformed, shard=shard)
+        if event.bytes_read:
+            self.ingest_bytes.inc(event.bytes_read, shard=shard)
+        self.ingest_rate.set(event.rate, shard=shard)
+        self.ingest_skew.set(event.skew, shard=shard)
+        self.tick_jitter.set(event.jitter, shard=shard)
+        self.ingest_buffered.set(event.buffered, shard=shard)
 
     def _on_headroom(self, event, shard: str) -> None:
         self.headroom.set(event.new, shard=shard)

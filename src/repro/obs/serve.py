@@ -72,6 +72,7 @@ class _LiveState:
         self.counts: Dict[str, int] = {}
         self.shards: Dict[str, dict] = {}
         self.headroom: Dict[str, float] = {}
+        self.ingest: Dict[str, dict] = {}
         self._lock = threading.Lock()
         bus.subscribe(self._on_event)
 
@@ -85,6 +86,8 @@ class _LiveState:
                 self.shards[shard] = event_to_dict(event).get("record") or {}
             elif kind == "headroom_changed":
                 self.headroom[shard] = event.new
+            elif kind == "ingest":
+                self.ingest[shard] = event_to_dict(event)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -95,6 +98,8 @@ class _LiveState:
                 "shards": {name: dict(doc)
                            for name, doc in self.shards.items()},
                 "headroom": dict(self.headroom),
+                "ingest": {name: dict(doc)
+                           for name, doc in self.ingest.items()},
             }
 
     def close(self) -> None:
@@ -342,6 +347,9 @@ DASHBOARD_HTML = """<!doctype html>
     <figure><figcaption>headroom share H per shard
       <span class="readout" id="r-headroom"></span></figcaption>
       <svg id="c-headroom"></svg></figure>
+    <figure><figcaption>ingest rate (offered tuples/s, live serving)
+      <span class="readout" id="r-ingest"></span></figcaption>
+      <svg id="c-ingest"></svg></figure>
   </div>
 </div>
 <script>
@@ -350,6 +358,7 @@ const KEEP = 240;                       // points retained per shard
 const SLOTS = 8;                        // categorical palette size
 const shards = new Map();               // name -> {slot, points: []}
 const headroom = new Map();             // name -> latest H
+const ingest = new Map();               // name -> latest offered tuples/s
 let periods = 0, lastTarget = null, dirty = false;
 
 function shardState(name) {
@@ -381,7 +390,8 @@ function onPeriod(rec, shard) {
   const s = shardState(shard);
   s.points.push({ k: rec.k, delay: rec.delay_estimate, target: rec.target,
                   queue: rec.queue_length, alpha: rec.alpha,
-                  headroom: headroom.get(shard) ?? null });
+                  headroom: headroom.get(shard) ?? null,
+                  ingest: ingest.get(shard) ?? null });
   if (s.points.length > KEEP) s.points.shift();
   periods += 1;
   lastTarget = rec.target;
@@ -393,6 +403,7 @@ const CHARTS = [
   { svg: "c-queue", readout: "r-queue", field: "queue" },
   { svg: "c-alpha", readout: "r-alpha", field: "alpha", min: 0, max: 1 },
   { svg: "c-headroom", readout: "r-headroom", field: "headroom", min: 0 },
+  { svg: "c-ingest", readout: "r-ingest", field: "ingest", min: 0 },
 ];
 const PAD = { l: 40, r: 8, t: 8, b: 18 };
 
@@ -473,6 +484,8 @@ es.addEventListener("hello", ev => {
   const doc = JSON.parse(ev.data);
   for (const [name, h] of Object.entries(doc.headroom || {}))
     headroom.set(name, h);
+  for (const [name, d] of Object.entries(doc.ingest || {}))
+    if (d && d.rate != null) ingest.set(name, d.rate);
   for (const [name, rec] of Object.entries(doc.shards || {}))
     if (rec && rec.k != null) onPeriod(rec, name);
   dirty = true;
@@ -484,6 +497,10 @@ es.addEventListener("period", ev => {
 es.addEventListener("headroom_changed", ev => {
   const doc = JSON.parse(ev.data);
   headroom.set(doc.shard || "main", doc.new);
+});
+es.addEventListener("ingest", ev => {
+  const doc = JSON.parse(ev.data);
+  ingest.set(doc.shard || "main", doc.rate);
 });
 (function tick() { if (dirty) draw(); requestAnimationFrame(tick); })();
 window.addEventListener("resize", () => { dirty = true; });

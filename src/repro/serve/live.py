@@ -1,0 +1,285 @@
+"""The wall-clock control loop driver: the paper's deployment, live.
+
+:class:`LiveRunner` turns an ordinary :class:`~repro.core.ControlLoop`
+into a real-time serving node. A ticker thread sleeps to each period
+boundary ``(k+1)·T`` on a :class:`~repro.core.clock.WallClock`, drains
+the :class:`~repro.serve.ingest.IngestBuffer` of every tuple stamped
+before the boundary, and hands them to ``ControlLoop.run_period`` — the
+same per-period body every virtual experiment runs, now clocked by real
+seconds. Arrival timestamps are wall seconds-since-start, so they land
+directly on the engine's virtual time axis and the Fig. 3 feedback
+(q(k), c(k), ŷ(k)) is computed over *real* queueing.
+
+The engine stays a virtual-capacity simulator: ``run_until(boundary)``
+executes instantly in wall time, but its queue builds exactly when the
+socket's offered rate exceeds ``H/c`` tuples/s — so overload, shedding
+and delay regulation are all faithful without burning a real CPU per
+tuple, and the entry actuator bounds per-tick work to roughly
+``capacity × T`` tuples however hard the socket is blasted.
+
+:func:`build_live_runner` assembles the whole node (engine + monitor +
+controller + actuator via :func:`~repro.service.shard.build_shard`) from
+an :class:`~repro.experiments.config.ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Optional
+
+from ..core.clock import Clock, WallClock
+from ..core.loop import ControlLoop
+from ..errors import ServeError
+from ..metrics.recorder import PeriodRecord, RunRecord
+from ..obs.events import IngestStats
+from .ingest import IngestBuffer, IngestServer
+
+
+class LiveRunner:
+    """Drives one control loop on wall-clock periods, fed by a socket.
+
+    Lifecycle: :meth:`start` binds the ingest socket (and optionally an
+    :class:`~repro.obs.serve.ObsServer`), anchors the clock and launches
+    the ticker; :meth:`wait` blocks until ``max_periods`` have closed or
+    :meth:`stop` is called; :meth:`stop` joins the ticker, runs the
+    loop's virtual end-of-run drain, closes every socket, and returns
+    the finished :class:`~repro.metrics.recorder.RunRecord`.
+    """
+
+    def __init__(self, loop: ControlLoop,
+                 entry_source: str = "in",
+                 clock: Optional[Clock] = None,
+                 host: str = "127.0.0.1",
+                 ingest_port: int = 0,
+                 buffer_maxlen: int = 100_000,
+                 default_source: str = "live",
+                 serve: bool = False,
+                 serve_port: Optional[int] = None,
+                 max_periods: Optional[int] = None,
+                 shard: Optional[str] = None):
+        if max_periods is not None and max_periods <= 0:
+            raise ServeError(f"max_periods must be positive: {max_periods}")
+        self.loop = loop
+        self.entry_source = entry_source
+        self.clock = clock if clock is not None else WallClock()
+        self.buffer = IngestBuffer(self.clock, maxlen=buffer_maxlen)
+        self.ingest = IngestServer(self.buffer, host=host, port=ingest_port,
+                                   default_source=default_source)
+        self.serve = serve
+        self.serve_port = serve_port
+        #: the live ObsServer while serving; None otherwise
+        self.obs_server = None
+        self.max_periods = max_periods
+        self.shard = shard
+        self.record: Optional[RunRecord] = None
+        self._last: Optional[PeriodRecord] = None
+        self._jitter = 0.0
+        self._periods_done = 0
+        self._stop = threading.Event()
+        self._ticker: Optional[threading.Thread] = None
+        self._finished = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def ingest_port(self) -> int:
+        """The bound TCP port tuples should be sent to."""
+        return self.ingest.port
+
+    def start(self) -> "LiveRunner":
+        if self._ticker is not None:
+            raise ServeError("LiveRunner already started")
+        if self.serve:
+            from ..obs.serve import ObsServer  # lazy: serving is opt-in
+            self.obs_server = ObsServer(port=self.serve_port,
+                                        bus=self.loop.bus,
+                                        status_fn=self.status).start()
+        self.ingest.start()
+        # the monitor stamps measurements with wall time from here on
+        self.loop.monitor.clock = self.clock
+        self.record = self.loop.begin()
+        self.clock.start()  # period 0 begins *now*; arrivals stamp >= 0
+        self._ticker = threading.Thread(
+            target=self._run_ticker, name="repro-live-ticker", daemon=True)
+        self._ticker.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticker exits (max_periods or stop). True if it did."""
+        if self._ticker is None:
+            return True
+        self._ticker.join(timeout=timeout)
+        return not self._ticker.is_alive()
+
+    def stop(self, drain: bool = True) -> RunRecord:
+        """Stop ticking, close the run record, shut every socket. Idempotent.
+
+        ``drain=True`` runs the loop's usual end-of-run *virtual* drain so
+        every delivered tuple's delay is resolved into the record.
+        """
+        self._stop.set()
+        if self._ticker is not None:
+            self._ticker.join(timeout=max(10.0, 3 * self.loop.period))
+        with self._lock:
+            if not self._finished:
+                self._finished = True
+                if drain:
+                    self.loop.finish(self.record, self._periods_done)
+                else:
+                    self.record.duration = (
+                        self._periods_done * self.loop.period)
+        self.ingest.stop()
+        if self.obs_server is not None:
+            self.obs_server.stop()
+            self.obs_server = None
+        return self.record
+
+    def handle_signals(self) -> None:
+        """Route SIGINT/SIGTERM to a clean stop (call from the main thread).
+
+        The first signal requests a graceful stop; the previous handlers
+        are restored immediately after, so a second Ctrl-C still kills a
+        process wedged in teardown.
+        """
+        previous = {}
+
+        def _on_signal(signum, frame):
+            self._stop.set()
+            for sig, handler in previous.items():
+                try:
+                    signal.signal(sig, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, _on_signal)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+
+    def __enter__(self) -> "LiveRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the ticker: one run_period call per wall-clock boundary
+    # ------------------------------------------------------------------ #
+    def _run_ticker(self) -> None:
+        loop, buffer, clock = self.loop, self.buffer, self.clock
+        prev = self.ingest.snapshot()
+        k = 0
+        while not self._stop.is_set():
+            if self.max_periods is not None and k >= self.max_periods:
+                break
+            boundary = (k + 1) * loop.period
+            late = clock.wait_until(boundary, self._stop)
+            if clock.now() < boundary:
+                break  # stop fired mid-period; k never closed
+            self._jitter = max(late, 0.0)
+            due = buffer.drain_until(boundary)
+            snap = self.ingest.snapshot()
+            bus = loop.bus
+            if bus:
+                bus.emit(IngestStats(
+                    k=k,
+                    accepted=snap.accepted - prev.accepted,
+                    dropped=snap.dropped - prev.dropped,
+                    malformed=snap.malformed - prev.malformed,
+                    bytes_read=snap.bytes_read - prev.bytes_read,
+                    connections=snap.open_connections,
+                    rate=(snap.accepted - prev.accepted) / loop.period,
+                    skew=snap.skew_last,
+                    jitter=self._jitter,
+                    buffered=len(buffer),
+                    shard=self.shard,
+                ))
+            prev = snap
+            # logical source names are a routing concept; tuples enter the
+            # query network at the shard's one physical entry source
+            arrivals = [(t, values, self.entry_source)
+                        for t, values, _ in due]
+            last = loop.run_period(self.record, k, arrivals)
+            with self._lock:
+                self._last = last
+                self._periods_done = k + 1
+            k += 1
+
+    # ------------------------------------------------------------------ #
+    # live introspection (the ObsServer's ``/status`` "service" view)
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """A JSON-able snapshot of the live node right now."""
+        snap = self.ingest.snapshot()
+        with self._lock:
+            last = self._last
+            done = self._periods_done
+        doc = {
+            "mode": "live",
+            "running": (self._ticker is not None and self._ticker.is_alive()),
+            "clock": round(self.clock.now(), 3) if self.clock else None,
+            "period": self.loop.period,
+            "periods_done": done,
+            "ingest_port": self.ingest.port,
+            "tick_jitter": round(self._jitter, 4),
+            "ingest": {
+                "accepted": snap.accepted,
+                "dropped": snap.dropped,
+                "malformed": snap.malformed,
+                "bytes_read": snap.bytes_read,
+                "connections": snap.open_connections,
+                "buffered": len(self.buffer),
+                "skew_last": round(snap.skew_last, 4),
+            },
+        }
+        if last is not None:
+            doc.update({
+                "k": last.k,
+                "delay_estimate": last.delay_estimate,
+                "target": last.target,
+                "queue_length": last.queue_length,
+                "alpha": last.alpha,
+                "offered": last.offered,
+                "admitted": last.admitted,
+            })
+        return doc
+
+
+def build_live_runner(config,
+                      strategy: str = "CTRL",
+                      backend: str = "full",
+                      host: str = "127.0.0.1",
+                      ingest_port: int = 0,
+                      serve: bool = False,
+                      serve_port: Optional[int] = None,
+                      max_periods: Optional[int] = None,
+                      buffer_maxlen: int = 100_000,
+                      engine_seed: int = 0,
+                      shard: Optional[str] = None) -> LiveRunner:
+    """A complete live node from an ExperimentConfig.
+
+    Reuses the service layer's :func:`~repro.service.shard.build_shard`
+    (engine + model + monitor + controller + bounded entry actuator at
+    the config's headroom/target), then wraps its loop in a
+    :class:`LiveRunner` listening on ``host:ingest_port``.
+    """
+    from ..service.shard import build_shard  # lazy: avoids a package cycle
+    built = build_shard(shard or "live", config,
+                        headroom=config.headroom,
+                        target=config.target,
+                        strategy=strategy,
+                        engine_seed=engine_seed,
+                        backend=backend)
+    return LiveRunner(built.loop,
+                      entry_source=built.entry_source,
+                      host=host,
+                      ingest_port=ingest_port,
+                      serve=serve,
+                      serve_port=serve_port,
+                      max_periods=max_periods,
+                      buffer_maxlen=buffer_maxlen,
+                      shard=shard)

@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import os
 import queue as _queue
+import signal
 import time as _time
 import traceback
 from contextlib import nullcontext
@@ -166,6 +167,14 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
     failure-injection test hook: the first incarnation dies abruptly at
     the start of that period.
     """
+    try:
+        # a Ctrl-C to the process *group* hits every worker as well as the
+        # parent; workers must not race the parent's coordinated teardown
+        # with their own KeyboardInterrupt stacks — the parent terminates
+        # them (or they finish their run) under its finally block
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     try:
         shard = build_shard(
             name, config,
@@ -554,6 +563,12 @@ class ProcessFleet:
                     st.proc.terminate()
             for st in states.values():
                 if st.proc is not None:
+                    st.proc.join(timeout=2.0)
+            # a worker stuck past the graceful join (wedged in a queue
+            # write, say) must not be orphaned: escalate to SIGKILL
+            for st in states.values():
+                if st.proc is not None and st.proc.is_alive():
+                    st.proc.kill()
                     st.proc.join(timeout=2.0)
             channel.close()
             summary_q.close()

@@ -40,12 +40,31 @@ from .skew import hotspot_weights, multi_source_arrivals, skewed_source_traces
 from .trace import CostTrace, RateTrace
 from .web import load_ita_trace, web_rate_trace
 
+#: replay exports resolved lazily (PEP 562) so `python -m
+#: repro.workloads.replay` doesn't re-execute an already-imported module
+#: (runpy's "found in sys.modules" warning)
+_REPLAY_EXPORTS = frozenset({
+    "TraceReplayer",
+    "load_citibike_csv",
+    "replay_over_socket",
+    "replay_schedule",
+})
+
+
+def __getattr__(name):
+    if name in _REPLAY_EXPORTS:
+        from . import replay
+        return getattr(replay, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Arrival",
     "CACHE_MIN_TUPLES",
     "Circumstance",
     "CostTrace",
     "RateTrace",
+    "TraceReplayer",
     "arrivals_from_trace",
     "cached_arrivals_from_trace",
     "clear_trace_cache",
@@ -56,6 +75,7 @@ __all__ = [
     "fig14_cost_trace",
     "hotspot_weights",
     "iter_arrivals",
+    "load_citibike_csv",
     "load_ita_trace",
     "merge_arrivals",
     "multi_source_arrivals",
@@ -64,6 +84,8 @@ __all__ = [
     "pareto_rate_trace_with_mean",
     "piecewise_rate",
     "ramp_rate",
+    "replay_over_socket",
+    "replay_schedule",
     "sinusoid_rate",
     "skewed_source_traces",
     "square_rate",

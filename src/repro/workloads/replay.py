@@ -1,0 +1,327 @@
+"""Traffic replay: blast a recorded trace at the live ingest socket.
+
+The live serving stack needs a load generator that produces *real*
+network traffic with controlled statistics. This module replays any
+arrival list (a cached :func:`~repro.workloads.arrivals_from_trace`
+stream, or rows of a Citi-Bike-style trip CSV) over TCP:
+
+* :func:`replay_schedule` — the pure time-warp: speedup (1x…1000x) and
+  burst shaping, deterministically testable without sockets;
+* :func:`replay_over_socket` — the blocking sender (coalesces due
+  payloads into batched ``sendall`` calls so 10k msg/s over loopback
+  doesn't syscall per tuple);
+* :class:`TraceReplayer` — a thread wrapper with start/stop/stats;
+* :func:`load_citibike_csv` — the 2018-schema trip CSV reader
+  (``tripduration,starttime,stoptime,...``), timestamps relative to the
+  first trip's start;
+* ``python -m repro.workloads.replay`` — the CLI.
+
+Burst shaping squeezes each ``burst_period`` window: the first half's
+arrivals are compressed ``burst_factor``-fold (a burst), the second
+half's are stretched to fill the window's remainder (a lull), so the
+window's duration — and therefore the *mean* rate — is exactly
+preserved while the peak rate multiplies. This is the eSPICE/hSPICE
+evaluation pattern: shedding quality is judged at controlled overload
+factors with bursty arrivals, not smoothed means.
+"""
+
+from __future__ import annotations
+
+import csv
+import socket
+import threading
+import time
+from datetime import datetime
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import WorkloadError
+from .arrivals import Arrival
+
+#: payload actually sent: (send time in warped seconds, encoded bytes)
+_SendItem = Tuple[float, bytes]
+
+
+def _warp_time(t: float, speed: float, burst_factor: float,
+               burst_period: float) -> float:
+    """Map one original timestamp to its warped send time."""
+    t = t / speed
+    if burst_factor <= 1.0:
+        return t
+    w = burst_period
+    half = w / 2.0
+    window = int(t // w)
+    offset = t - window * w
+    # first half compressed into half/burst_factor seconds, second half
+    # stretched so the window still lasts exactly w
+    if offset < half:
+        warped = offset / burst_factor
+    else:
+        slow = (w - half / burst_factor) / half
+        warped = half / burst_factor + (offset - half) * slow
+    return window * w + warped
+
+
+def replay_schedule(arrivals: Sequence[Arrival], speed: float = 1.0,
+                    burst_factor: float = 1.0,
+                    burst_period: float = 10.0) -> List[float]:
+    """Wall-clock send times (seconds from replay start) for each arrival.
+
+    ``speed`` divides every inter-arrival gap (50x replays a 400 s trace
+    in 8 s); ``burst_factor`` > 1 compresses the first half of every
+    ``burst_period``-second window (post-speedup) by that factor and
+    stretches the second half to compensate, preserving the mean rate.
+    """
+    if speed <= 0:
+        raise WorkloadError(f"replay speed must be positive: {speed}")
+    if burst_factor < 1.0:
+        raise WorkloadError(
+            f"burst_factor must be >= 1 (1 = no shaping): {burst_factor}")
+    if burst_period <= 0:
+        raise WorkloadError(
+            f"burst_period must be positive: {burst_period}")
+    times = []
+    prev = None
+    for t, _, _ in arrivals:
+        if prev is not None and t < prev:
+            raise WorkloadError("arrivals must be in time order")
+        prev = t
+        times.append(_warp_time(t, speed, burst_factor, burst_period))
+    return times
+
+
+def load_citibike_csv(path: Union[str, Path], source: str = "bike",
+                      limit: Optional[int] = None) -> List[Arrival]:
+    """Arrivals from a Citi-Bike trip CSV (2018 schema).
+
+    Expects the old-schema header (``tripduration,starttime,stoptime,
+    start station id,...,bikeid,...``); each row becomes one arrival at
+    ``starttime`` seconds after the file's first trip, carrying
+    ``(tripduration, start station id, end station id, bikeid)`` values.
+    Rows with unparseable key fields are skipped.
+    """
+    path = Path(path)
+    arrivals: List[Arrival] = []
+    epoch: Optional[datetime] = None
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise WorkloadError(f"{path}: empty CSV")
+        fields = {name.strip().strip('"').lower(): name
+                  for name in reader.fieldnames}
+        try:
+            f_start = fields["starttime"]
+            f_duration = fields["tripduration"]
+        except KeyError:
+            raise WorkloadError(
+                f"{path}: not a Citi-Bike trip CSV "
+                f"(columns: {reader.fieldnames})") from None
+        f_sstation = fields.get("start station id")
+        f_estation = fields.get("end station id")
+        f_bike = fields.get("bikeid")
+        for row in reader:
+            if limit is not None and len(arrivals) >= limit:
+                break
+            try:
+                started = _parse_citibike_time(row[f_start])
+                duration = int(float(row[f_duration]))
+            except (ValueError, KeyError, TypeError):
+                continue
+            if epoch is None:
+                epoch = started
+            t = (started - epoch).total_seconds()
+            values = (
+                duration,
+                _int_or_zero(row.get(f_sstation)) if f_sstation else 0,
+                _int_or_zero(row.get(f_estation)) if f_estation else 0,
+                _int_or_zero(row.get(f_bike)) if f_bike else 0,
+            )
+            arrivals.append((t, values, source))
+    if not arrivals:
+        raise WorkloadError(f"{path}: no parseable trips")
+    arrivals.sort(key=lambda a: a[0])
+    return arrivals
+
+
+def _parse_citibike_time(text: str) -> datetime:
+    text = text.strip().strip('"')
+    for fmt in ("%Y-%m-%d %H:%M:%S.%f", "%Y-%m-%d %H:%M:%S"):
+        try:
+            return datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    raise ValueError(f"unparseable timestamp {text!r}")
+
+
+def _int_or_zero(raw) -> int:
+    try:
+        return int(float(raw))
+    except (ValueError, TypeError):
+        return 0
+
+
+def replay_over_socket(arrivals: Sequence[Arrival],
+                       host: str, port: int,
+                       speed: float = 1.0,
+                       burst_factor: float = 1.0,
+                       burst_period: float = 10.0,
+                       stop: Optional[threading.Event] = None,
+                       stamp_sent: bool = False,
+                       batch_window: float = 0.005) -> int:
+    """Replay ``arrivals`` to ``host:port``; returns tuples actually sent.
+
+    Encodes each arrival with the serve wire protocol and sends it at
+    its :func:`replay_schedule` time. Payloads due within
+    ``batch_window`` seconds of each other coalesce into one ``sendall``
+    (per-tuple syscalls cap loopback throughput far below what the
+    shedder should be asked to survive). ``stamp_sent=True`` embeds the
+    sender's epoch clock for the server's skew gauge. A vanished server
+    (connection refused mid-shutdown, broken pipe) ends the replay
+    quietly — the generator must never outlive the node it feeds.
+    """
+    from ..serve.protocol import encode_tuple  # lazy: one-way dep
+
+    schedule = replay_schedule(arrivals, speed, burst_factor, burst_period)
+    sent = 0
+    try:
+        sock = socket.create_connection((host, port), timeout=5.0)
+    except OSError:
+        return 0
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        start = time.monotonic()
+        i = 0
+        n = len(schedule)
+        while i < n:
+            if stop is not None and stop.is_set():
+                break
+            due_at = schedule[i]
+            wait = due_at - (time.monotonic() - start)
+            if wait > 0:
+                if stop is not None:
+                    if stop.wait(timeout=wait):
+                        break
+                else:
+                    time.sleep(wait)
+            # coalesce everything due within the batch window
+            horizon = (time.monotonic() - start) + batch_window
+            chunk = bytearray()
+            while i < n and schedule[i] <= horizon:
+                t, values, source = arrivals[i]
+                chunk += encode_tuple(
+                    values, source=source,
+                    sent=time.time() if stamp_sent else None)
+                i += 1
+                sent += 1
+            try:
+                sock.sendall(chunk)
+            except OSError:
+                sent -= 1  # the last chunk may not have landed whole
+                break
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return max(sent, 0)
+
+
+class TraceReplayer:
+    """Background-thread wrapper around :func:`replay_over_socket`."""
+
+    def __init__(self, arrivals: Sequence[Arrival], host: str, port: int,
+                 speed: float = 1.0, burst_factor: float = 1.0,
+                 burst_period: float = 10.0, stamp_sent: bool = False):
+        self.arrivals = arrivals
+        self.host = host
+        self.port = port
+        self.speed = speed
+        self.burst_factor = burst_factor
+        self.burst_period = burst_period
+        self.stamp_sent = stamp_sent
+        self.sent = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "TraceReplayer":
+        if self._thread is not None:
+            raise WorkloadError("TraceReplayer already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-replay", daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        self.sent = replay_over_socket(
+            self.arrivals, self.host, self.port,
+            speed=self.speed, burst_factor=self.burst_factor,
+            burst_period=self.burst_period, stop=self._stop,
+            stamp_sent=self.stamp_sent)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the replay to finish; True when the thread is done."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()
+
+    def stop(self) -> int:
+        """Abort the replay and join the thread; returns tuples sent."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        return self.sent
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    """CLI: replay a synthetic trace or a Citi-Bike CSV at a live node."""
+    import argparse
+
+    from .arrivals import arrivals_from_trace
+    from .patterns import constant_rate
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.replay",
+        description="Replay a trace over TCP at a live serving node.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True,
+                        help="the live node's ingest port")
+    parser.add_argument("--csv", type=Path, default=None,
+                        help="Citi-Bike trip CSV to replay (default: a "
+                             "synthetic constant-rate trace)")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="synthetic trace rate, tuples/s (no --csv)")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="synthetic trace length, seconds (no --csv)")
+    parser.add_argument("--speed", type=float, default=1.0,
+                        help="replay speedup factor (1x...1000x)")
+    parser.add_argument("--burst-factor", type=float, default=1.0)
+    parser.add_argument("--burst-period", type=float, default=10.0)
+    parser.add_argument("--limit", type=int, default=None,
+                        help="cap the number of tuples replayed")
+    args = parser.parse_args(argv)
+
+    if args.csv is not None:
+        arrivals = load_citibike_csv(args.csv, limit=args.limit)
+    else:
+        trace = constant_rate(args.rate, max(1, int(round(args.duration))))
+        arrivals = arrivals_from_trace(trace, seed=1)
+        if args.limit is not None:
+            arrivals = arrivals[:args.limit]
+    print(f"replaying {len(arrivals)} tuples at {args.speed}x "
+          f"to {args.host}:{args.port}")
+    sent = replay_over_socket(
+        arrivals, args.host, args.port, speed=args.speed,
+        burst_factor=args.burst_factor, burst_period=args.burst_period,
+        stamp_sent=True)
+    print(f"sent {sent} tuples")
+    return 0 if sent > 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.dsms.operators",
     "repro.experiments",
     "repro.metrics",
+    "repro.serve",
     "repro.shedding",
     "repro.workloads",
 ]
