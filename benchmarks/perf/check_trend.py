@@ -14,11 +14,15 @@ metric fails the build:
 
 Two *parallel* speedups — ``figure_fanout.speedup`` (process pool vs
 serial) and ``fleet.speedup`` (per-shard process fleet vs lockstep) —
-are checked the same way, but only when the section's recorded
-``cpu_count`` is at least 2 in both reports: on a single-CPU machine a
-process pool/fleet cannot beat one process, so a sub-1x "speedup" there
-is machine topology, not a regression (and asserting on it would make
-the check flap between runner shapes).
+are checked the same way, but *skipped* (cleanly, never warn-failed)
+whenever either report says the machine could not express the
+parallelism: the harness records ``speedup_meaningful`` and a
+``skip_reason`` when ``cpu_count`` is below the section's own degree of
+parallelism (workers for the pool, shards for the fleet). On such a
+runner a sub-1x "speedup" is machine topology, not a regression, and
+asserting on it would make the check flap between runner shapes. Older
+reports without those fields fall back to the recorded ``cpu_count``
+against the section's ``workers``/``shards``.
 
 Throughput *gains* never fail; CI runners are noisy, so the tolerance is
 deliberately loose — the check exists to catch order-of-magnitude
@@ -52,10 +56,30 @@ METRICS = (
     "ingest.tuples_per_second",
 )
 
-#: sections whose ``speedup`` only means anything on multi-core machines;
-#: each is guarded like METRICS but skipped unless the section's own
-#: ``cpu_count`` is >= 2 in both reports
+#: sections whose ``speedup`` only means anything when the machine has a
+#: core per unit of parallelism; each is guarded like METRICS but skipped
+#: when either report records a ``skip_reason`` (or, for older reports,
+#: when ``cpu_count`` is below the section's workers/shards)
 PARALLEL_SECTIONS = ("figure_fanout", "fleet")
+
+
+def parallel_skip_reason(section: str, doc: dict, which: str):
+    """Why this report's ``section.speedup`` should not be gated, if so."""
+    sec = doc.get(section)
+    if sec is None:
+        return f"section missing from {which} report"
+    if "speedup_meaningful" in sec:
+        if not sec["speedup_meaningful"]:
+            return f"{which}: {sec.get('skip_reason') or 'not meaningful'}"
+        return None
+    # pre-skip_reason report: reconstruct the gate from cpu_count vs the
+    # section's own degree of parallelism
+    degree = int(sec.get("workers") or sec.get("shards") or 2)
+    cpus = int(sec.get("cpu_count") or 1)
+    if cpus < degree:
+        return (f"{which}: cpu_count {cpus} < {degree} "
+                "(parallel speedup not meaningful)")
+    return None
 
 
 def dig(doc: dict, dotted: str) -> float:
@@ -105,21 +129,13 @@ def main(argv=None) -> int:
 
     for section in PARALLEL_SECTIONS:
         metric = f"{section}.speedup"
-        base_sec = baseline.get(section)
-        fresh_sec = fresh.get(section)
-        if base_sec is None or fresh_sec is None:
-            print(f"{metric}: section missing from "
-                  f"{'baseline' if base_sec is None else 'fresh'} report, "
-                  "skipping")
+        skip = (parallel_skip_reason(section, baseline, "baseline")
+                or parallel_skip_reason(section, fresh, "fresh"))
+        if skip is not None:
+            print(f"{metric}: skipping — {skip}")
             continue
-        cpus = min(int(base_sec.get("cpu_count") or 1),
-                   int(fresh_sec.get("cpu_count") or 1))
-        if cpus < 2:
-            print(f"{metric}: cpu_count {cpus} < 2, parallel speedup "
-                  "not meaningful on this machine, skipping")
-            continue
-        base = float(base_sec["speedup"])
-        now = float(fresh_sec["speedup"])
+        base = float(baseline[section]["speedup"])
+        now = float(fresh[section]["speedup"])
         if base <= 0:
             print(f"{metric}: baseline {base} not positive, skipping")
             continue

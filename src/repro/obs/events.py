@@ -206,11 +206,75 @@ class WorkerDown(ObsEvent):
 
 @dataclass
 class WorkerRestarted(ObsEvent):
-    """A replacement worker finished its replay and rejoined the fleet."""
+    """A replacement worker finished its replay and rejoined the fleet.
+
+    ``epoch`` is the worker's routing-table epoch after replay — if the
+    journal contained a migration cutover, this proves the replacement
+    restored the post-migration routing.
+    """
 
     kind: ClassVar[str] = "worker_restarted"
     resumed_k: int = -1
     restarts: int = 0
+    epoch: int = 0
+    shard: Optional[str] = None
+
+
+@dataclass
+class RouteChanged(ObsEvent):
+    """A routing-table entry was re-pinned (migration cutover committed).
+
+    Emitted by the runtime that owns the authoritative table immediately
+    after :meth:`~repro.service.router.RoutingTable.migrate` returns, with
+    the cutover's epoch — from the *next* period on, ``source``'s tuples
+    route to ``to_shard``.
+    """
+
+    kind: ClassVar[str] = "route_changed"
+    k: int = 0
+    source: str = ""
+    from_shard: int = -1
+    to_shard: int = -1
+    epoch: int = 0
+    shard: Optional[str] = None
+
+
+@dataclass
+class MigrationStarted(ObsEvent):
+    """A source migration began: the old shard is draining the source.
+
+    ``backlog`` is the shard's outstanding tuple count when the drain
+    started (all sources — the engine drains its whole queue so the
+    source's in-flight window contribution is fully flushed).
+    """
+
+    kind: ClassVar[str] = "migration_started"
+    k: int = 0
+    source: str = ""
+    from_shard: int = -1
+    to_shard: int = -1
+    backlog: int = 0
+    shard: Optional[str] = None
+
+
+@dataclass
+class MigrationCompleted(ObsEvent):
+    """A source migration's drain finished (cutover commits right after).
+
+    ``virtual_seconds`` is how much engine (virtual) time the drain
+    consumed; ``truncated`` means the drain budget expired with tuples
+    still queued (they stay on the old shard and complete there).
+    """
+
+    kind: ClassVar[str] = "migration_completed"
+    k: int = 0
+    source: str = ""
+    from_shard: int = -1
+    to_shard: int = -1
+    drained: int = 0
+    leftover: int = 0
+    virtual_seconds: float = 0.0
+    truncated: bool = False
     shard: Optional[str] = None
 
 
@@ -240,6 +304,6 @@ EVENT_KINDS = tuple(
         RunStarted, PeriodDecision, ShedAction, LateArrival, DrainTruncated,
         TargetChanged, HeadroomChanged, AlphaCapped, ShardRebalanced,
         BackendSelected, IngestStats, RunFinished, WorkerDown,
-        WorkerRestarted,
+        WorkerRestarted, RouteChanged, MigrationStarted, MigrationCompleted,
     )
 )

@@ -31,7 +31,12 @@ watches the per-period decision stream for sustained pathologies:
     opened on :class:`~repro.obs.events.WorkerDown` and closed when the
     replacement's :class:`~repro.obs.events.WorkerRestarted` arrives, so
     an episode still ``open`` at the end of the run means the shard
-    never rejoined).
+    never rejoined);
+``ingest_drops``
+    the live ingest buffer has refused tuples at its capacity for
+    ``ingest_patience`` consecutive periods — the front door is shedding
+    *silently* (senders get no signal), so sustained drops mean the
+    node is overloaded beyond even its admission-control posture.
 
 Detectors report *episodes*: one :class:`HealthReport` per contiguous
 stretch of bad periods, updated in place while the episode lasts.
@@ -49,7 +54,8 @@ SEVERITY_WARNING = "warning"
 SEVERITY_CRITICAL = "critical"
 
 HEALTH_KINDS = ("qos_violation", "actuator_saturated", "controller_windup",
-                "drain_truncated", "shard_imbalance", "worker_down")
+                "drain_truncated", "shard_imbalance", "worker_down",
+                "ingest_drops")
 
 
 @dataclass
@@ -111,11 +117,13 @@ class HealthMonitor:
                  saturation_patience: int = 3,
                  windup_patience: int = 5,
                  imbalance_spread: float = 1.0,
-                 imbalance_patience: int = 3):
+                 imbalance_patience: int = 3,
+                 ingest_patience: int = 3):
         for name, patience in (("qos_patience", qos_patience),
                                ("saturation_patience", saturation_patience),
                                ("windup_patience", windup_patience),
-                               ("imbalance_patience", imbalance_patience)):
+                               ("imbalance_patience", imbalance_patience),
+                               ("ingest_patience", ingest_patience)):
             if patience < 1:
                 raise ValueError(f"{name} must be >= 1, got {patience}")
         self.bus = bus if bus is not None else get_bus()
@@ -126,18 +134,21 @@ class HealthMonitor:
         self.windup_patience = windup_patience
         self.imbalance_spread = imbalance_spread
         self.imbalance_patience = imbalance_patience
+        self.ingest_patience = ingest_patience
 
         self._reports: List[HealthReport] = []
         self._qos: Dict[str, _Streak] = {}
         self._sat: Dict[str, _Streak] = {}
         self._windup: Dict[str, _Streak] = {}
+        self._ingest: Dict[str, _Streak] = {}
         self._u_prev: Dict[str, float] = {}
         self._fleet: Dict[int, Dict[str, Tuple[float, float]]] = {}
         self._imbalance = _Streak()
         self._down: Dict[str, HealthReport] = {}
         self.bus.subscribe(self._on_event,
                            kinds=("period", "drain_truncated",
-                                  "worker_down", "worker_restarted"))
+                                  "worker_down", "worker_restarted",
+                                  "ingest"))
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -180,6 +191,8 @@ class HealthMonitor:
     def _on_event(self, event: ObsEvent) -> None:
         if event.kind == "period":
             self._on_period(event)
+        elif event.kind == "ingest":
+            self._on_ingest(event)
         elif event.kind == "worker_down":
             shard = event.shard or "main"
             report = HealthReport(
@@ -223,6 +236,21 @@ class HealthMonitor:
         self._check_saturation(shard, p)
         self._check_windup(shard, p)
         self._check_imbalance(shard, p)
+
+    def _on_ingest(self, event) -> None:
+        shard = event.shard or "main"
+        bad = event.dropped > 0
+
+        def detail(streak: _Streak) -> str:
+            return (f"ingest buffer refused tuples at capacity for "
+                    f"{streak.count} consecutive periods (worst "
+                    f"{int(streak.peak)} drops/period); senders get no "
+                    "backpressure signal — the node is shedding silently "
+                    "at the front door")
+
+        self._run_streak(self._ingest, shard, bad, event.k,
+                         float(event.dropped), self.ingest_patience,
+                         "ingest_drops", SEVERITY_WARNING, detail)
 
     # ------------------------------------------------------------------ #
     # detectors

@@ -575,7 +575,7 @@ class MetricsBridge:
             "tuples accepted off the network into the ingest buffer")
         self.ingest_dropped = r.counter(
             f"{p}_ingest_dropped_total",
-            "tuples refused at the full ingest buffer")
+            "tuples refused at the ingest front door, by reason")
         self.ingest_malformed = r.counter(
             f"{p}_ingest_malformed_total",
             "undecodable lines received on the ingest socket")
@@ -594,6 +594,12 @@ class MetricsBridge:
         self.ingest_buffered = r.gauge(
             f"{p}_ingest_buffered",
             "arrivals waiting in the ingest buffer past the boundary")
+        self.migrations = r.counter(
+            f"{p}_migrations_total",
+            "source migrations committed (route cutovers)")
+        self.migration_drain = r.histogram(
+            f"{p}_migration_drain_seconds",
+            "virtual seconds spent draining the old shard per migration")
         self._handlers = {
             "period": self._on_period,
             "shed": self._on_shed,
@@ -604,6 +610,8 @@ class MetricsBridge:
             "headroom_changed": self._on_headroom,
             "worker_down": self._on_worker_down,
             "worker_restarted": self._on_worker_restarted,
+            "route_changed": self._on_route_changed,
+            "migration_completed": self._on_migration_completed,
         }
         self.bus.subscribe(self._on_event, kinds=self._handlers.keys())
 
@@ -653,7 +661,10 @@ class MetricsBridge:
         if event.accepted:
             self.ingest_accepted.inc(event.accepted, shard=shard)
         if event.dropped:
-            self.ingest_dropped.inc(event.dropped, shard=shard)
+            # the buffer's only drop reason today; backpressure signaling
+            # (ROADMAP) will add more
+            self.ingest_dropped.inc(event.dropped, shard=shard,
+                                    reason="capacity")
         if event.malformed:
             self.ingest_malformed.inc(event.malformed, shard=shard)
         if event.bytes_read:
@@ -671,6 +682,14 @@ class MetricsBridge:
 
     def _on_worker_restarted(self, event, shard: str) -> None:
         self.worker_restarts.inc(shard=shard)
+
+    def _on_route_changed(self, event, shard: str) -> None:
+        self.migrations.inc(source=event.source,
+                            from_shard=str(event.from_shard),
+                            to_shard=str(event.to_shard))
+
+    def _on_migration_completed(self, event, shard: str) -> None:
+        self.migration_drain.observe(event.virtual_seconds, shard=shard)
 
     # ------------------------------------------------------------------ #
     # derived views

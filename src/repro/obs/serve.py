@@ -323,6 +323,9 @@ DASHBOARD_HTML = """<!doctype html>
   .axis-label { fill: var(--text-secondary); font-size: 10px; }
   .refline { stroke: var(--text-secondary); stroke-width: 1.5;
              stroke-dasharray: 5 4; }
+  .annoline { stroke: var(--series-4); stroke-width: 1.5;
+              stroke-dasharray: 3 3; }
+  .annolabel { fill: var(--series-4); font-size: 9px; }
   .series { fill: none; stroke-width: 2; stroke-linejoin: round; }
 </style>
 </head>
@@ -359,6 +362,7 @@ const SLOTS = 8;                        // categorical palette size
 const shards = new Map();               // name -> {slot, points: []}
 const headroom = new Map();             // name -> latest H
 const ingest = new Map();               // name -> latest offered tuples/s
+const annotations = [];                 // migrations: {k, label}
 let periods = 0, lastTarget = null, dirty = false;
 
 function shardState(name) {
@@ -447,6 +451,14 @@ function drawChart(chart) {
   if (ref != null)
     out += '<line class="refline" x1="' + PAD.l + '" x2="' + (W - PAD.r) +
            '" y1="' + y(ref).toFixed(1) + '" y2="' + y(ref).toFixed(1) + '"/>';
+  for (const a of annotations) {       // migration cutover markers
+    if (a.k < k0 || a.k > k1) continue;
+    const xx = x(a.k).toFixed(1);
+    out += '<line class="annoline" x1="' + xx + '" x2="' + xx +
+           '" y1="' + PAD.t + '" y2="' + (H - PAD.b) + '"/>' +
+           '<text class="annolabel" x="' + (+xx + 3) + '" y="' +
+           (PAD.t + 9) + '">' + a.label + "</text>";
+  }
   for (const [, s] of shards) {
     const pts = s.points
       .filter(p => p[chart.field] != null && isFinite(p[chart.field]))
@@ -501,6 +513,14 @@ es.addEventListener("headroom_changed", ev => {
 es.addEventListener("ingest", ev => {
   const doc = JSON.parse(ev.data);
   ingest.set(doc.shard || "main", doc.rate);
+});
+es.addEventListener("route_changed", ev => {
+  const doc = JSON.parse(ev.data);
+  const safe = String(doc.source ?? "?")
+    .replace(/&/g, "&amp;").replace(/</g, "&lt;");
+  annotations.push({ k: doc.k, label: safe + "&#8594;" + doc.to_shard });
+  if (annotations.length > 32) annotations.shift();
+  dirty = true;
 });
 (function tick() { if (dirty) draw(); requestAnimationFrame(tick); })();
 window.addEventListener("resize", () => { dirty = true; });

@@ -13,14 +13,19 @@ genuine overload:
 * :mod:`repro.serve.live` — :class:`LiveRunner`, the wall-clock driver
   that ticks ``ControlLoop.run_period`` on timer boundaries, plus
   :func:`build_live_runner` to assemble a full live node from an
-  :class:`~repro.experiments.config.ExperimentConfig`.
+  :class:`~repro.experiments.config.ExperimentConfig`, and
+  :class:`LiveService` / :func:`build_live_service` — the multi-shard
+  variant that routes socket tuples through the service layer's
+  versioned :class:`~repro.service.router.RoutingTable`, so live
+  sources can be *migrated* between shards mid-run without clients
+  reconnecting.
 
 Pair with :mod:`repro.workloads.replay` to blast a recorded trace at the
 socket at 1x…1000x speed.
 """
 
 from .ingest import IngestBuffer, IngestServer, IngestStatsSnapshot
-from .live import LiveRunner, build_live_runner
+from .live import LiveRunner, LiveService, build_live_runner, build_live_service
 from .protocol import MAX_LINE_BYTES, decode_line, encode_tuple
 
 __all__ = [
@@ -28,8 +33,10 @@ __all__ = [
     "IngestServer",
     "IngestStatsSnapshot",
     "LiveRunner",
+    "LiveService",
     "MAX_LINE_BYTES",
     "build_live_runner",
+    "build_live_service",
     "decode_line",
     "encode_tuple",
 ]

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import signal
 import threading
-from typing import Optional
+import time as _time
+from typing import Dict, List, Optional, Sequence
 
 from ..core.clock import Clock, WallClock
 from ..core.loop import ControlLoop
 from ..errors import ServeError
 from ..metrics.recorder import PeriodRecord, RunRecord
+from ..obs.bus import get_bus
 from ..obs.events import IngestStats
 from .ingest import IngestBuffer, IngestServer
 
@@ -247,6 +249,323 @@ class LiveRunner:
                 "admitted": last.admitted,
             })
         return doc
+
+
+class LiveService:
+    """N live shards behind one ingest socket, routed through one table.
+
+    The real-time counterpart of
+    :class:`~repro.service.service.StreamService`: one ticker thread
+    drains the shared :class:`~repro.serve.ingest.IngestBuffer` at every
+    wall-clock period boundary, routes each tuple through the service
+    layer's versioned :class:`~repro.service.router.RoutingTable` by its
+    wire-protocol ``source`` field, steps every shard's control loop, and
+    lets the :class:`~repro.service.coordinator.HeadroomCoordinator`
+    rebalance — including executing a planned source *migration*
+    (drain -> cutover -> re-pin). Because routing happens per tick
+    against the live table, socket tuples follow a migrated source to
+    its new shard without clients reconnecting: senders keep writing the
+    same source name to the same socket and only the table entry moves.
+    """
+
+    def __init__(self, shards: Sequence, table,
+                 coordinator,
+                 clock: Optional[Clock] = None,
+                 host: str = "127.0.0.1",
+                 ingest_port: int = 0,
+                 buffer_maxlen: int = 100_000,
+                 default_source: str = "live",
+                 bus=None,
+                 serve: bool = False,
+                 serve_port: Optional[int] = None,
+                 max_periods: Optional[int] = None):
+        if not shards:
+            raise ServeError("a live service needs at least one shard")
+        if table.n_shards != len(shards):
+            raise ServeError(
+                f"routing table covers {table.n_shards} shards but the "
+                f"service has {len(shards)}"
+            )
+        periods = {shard.loop.period for shard in shards}
+        if len(periods) != 1:
+            raise ServeError(
+                f"all shards must share one control period, "
+                f"got {sorted(periods)}"
+            )
+        if max_periods is not None and max_periods <= 0:
+            raise ServeError(f"max_periods must be positive: {max_periods}")
+        self.shards = list(shards)
+        self.table = table
+        self.coordinator = coordinator
+        self.period = next(iter(periods))
+        self.clock = clock if clock is not None else WallClock()
+        self.buffer = IngestBuffer(self.clock, maxlen=buffer_maxlen)
+        self.ingest = IngestServer(self.buffer, host=host, port=ingest_port,
+                                   default_source=default_source)
+        self.bus = bus if bus is not None else get_bus()
+        for shard in self.shards:
+            scoped = self.bus.scoped(shard.name)
+            shard.loop.bus = scoped
+            shard.engine.bus = scoped
+        self.coordinator.bus = self.bus
+        self.serve = serve
+        self.serve_port = serve_port
+        self.obs_server = None
+        self.max_periods = max_periods
+        self.records: Dict[str, RunRecord] = {}
+        self._lasts: Dict[str, PeriodRecord] = {}
+        self._jitter = 0.0
+        self._periods_done = 0
+        self._stop = threading.Event()
+        self._ticker: Optional[threading.Thread] = None
+        self._finished = False
+        self._lock = threading.Lock()
+        self._records_list: List[RunRecord] = []
+        self._wall_start = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def ingest_port(self) -> int:
+        """The bound TCP port tuples should be sent to."""
+        return self.ingest.port
+
+    def start(self) -> "LiveService":
+        if self._ticker is not None:
+            raise ServeError("LiveService already started")
+        if self.serve:
+            from ..obs.serve import ObsServer  # lazy: serving is opt-in
+            self.obs_server = ObsServer(port=self.serve_port, bus=self.bus,
+                                        status_fn=self.status).start()
+        self.ingest.start()
+        self._wall_start = _time.perf_counter()
+        for shard in self.shards:
+            shard.loop.monitor.clock = self.clock
+            record = shard.loop.begin()
+            self.records[shard.name] = record
+            self._records_list.append(record)
+        self.clock.start()
+        self._ticker = threading.Thread(
+            target=self._run_ticker, name="repro-live-service", daemon=True)
+        self._ticker.start()
+        return self
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ticker exits (max_periods or stop). True if it did."""
+        if self._ticker is None:
+            return True
+        self._ticker.join(timeout=timeout)
+        return not self._ticker.is_alive()
+
+    def stop(self, drain: bool = True):
+        """Stop ticking, close the records, shut every socket. Idempotent.
+
+        Returns a :class:`~repro.service.service.ServiceResult` so live
+        runs export/compare exactly like virtual-time service runs.
+        """
+        from ..service.service import ServiceResult  # lazy: package cycle
+        self._stop.set()
+        if self._ticker is not None:
+            self._ticker.join(timeout=max(10.0, 3 * self.period))
+        with self._lock:
+            if not self._finished:
+                self._finished = True
+                for shard, record in zip(self.shards, self._records_list):
+                    if drain:
+                        shard.loop.finish(record, self._periods_done)
+                    else:
+                        record.duration = self._periods_done * self.period
+        self.ingest.stop()
+        if self.obs_server is not None:
+            self.obs_server.stop()
+            self.obs_server = None
+        return ServiceResult(
+            mode=self.coordinator.mode,
+            base_target=self.shards[0].base_target,
+            shard_records=dict(self.records),
+            coordinator_history=list(self.coordinator.history),
+            wall_seconds=_time.perf_counter() - self._wall_start,
+        )
+
+    def __enter__(self) -> "LiveService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # the ticker: route -> step every shard -> coordinate, per boundary
+    # ------------------------------------------------------------------ #
+    def _run_ticker(self) -> None:
+        from ..service.service import execute_migration  # lazy: cycle
+        buffer, clock = self.buffer, self.clock
+        prev = self.ingest.snapshot()
+        k = 0
+        while not self._stop.is_set():
+            if self.max_periods is not None and k >= self.max_periods:
+                break
+            boundary = (k + 1) * self.period
+            late = clock.wait_until(boundary, self._stop)
+            if clock.now() < boundary:
+                break  # stop fired mid-period; k never closed
+            self._jitter = max(late, 0.0)
+            due = buffer.drain_until(boundary)
+            snap = self.ingest.snapshot()
+            if self.bus:
+                self.bus.emit(IngestStats(
+                    k=k,
+                    accepted=snap.accepted - prev.accepted,
+                    dropped=snap.dropped - prev.dropped,
+                    malformed=snap.malformed - prev.malformed,
+                    bytes_read=snap.bytes_read - prev.bytes_read,
+                    connections=snap.open_connections,
+                    rate=(snap.accepted - prev.accepted) / self.period,
+                    skew=snap.skew_last,
+                    jitter=self._jitter,
+                    buffered=len(buffer),
+                ))
+            prev = snap
+            # route by the *current* table: after a cutover the same
+            # source name lands on its new shard from this tick on
+            per_shard: List[List] = [[] for __ in self.shards]
+            counts: Dict[str, int] = {}
+            for t, values, source in due:
+                per_shard[self.table.shard_of(source)].append((t, values))
+                counts[source] = counts.get(source, 0) + 1
+            closed = []
+            for i, shard in enumerate(self.shards):
+                arrivals = [(t, values, shard.entry_source)
+                            for t, values in per_shard[i]]
+                closed.append(shard.loop.run_period(
+                    self.records[shard.name], k, arrivals))
+            entry = self.coordinator.rebalance(k, self.shards, closed,
+                                               source_counts=counts,
+                                               table=self.table)
+            plan = entry.get("migration")
+            if plan is not None:
+                # the drain advances *virtual* engine time only — in wall
+                # time the cutover is instantaneous between two ticks
+                execute_migration(k, plan, self.shards, self.table,
+                                  bus=self.bus)
+            with self._lock:
+                for shard, p in zip(self.shards, closed):
+                    self._lasts[shard.name] = p
+                self._periods_done = k + 1
+            k += 1
+
+    # ------------------------------------------------------------------ #
+    # live introspection (the ObsServer's ``/status`` "service" view)
+    # ------------------------------------------------------------------ #
+    def status(self) -> dict:
+        """A JSON-able snapshot of the live fleet right now."""
+        snap = self.ingest.snapshot()
+        policy = self.coordinator.migration_policy
+        with self._lock:
+            lasts = dict(self._lasts)
+            done = self._periods_done
+        doc = {
+            "mode": "live",
+            "coordination": self.coordinator.mode,
+            "running": (self._ticker is not None
+                        and self._ticker.is_alive()),
+            "clock": round(self.clock.now(), 3) if self.clock else None,
+            "period": self.period,
+            "periods_done": done,
+            "ingest_port": self.ingest.port,
+            "tick_jitter": round(self._jitter, 4),
+            "routing_epoch": self.table.epoch,
+            "routes": self.table.routes(),
+            "migrations": policy.migrations if policy is not None else 0,
+            "ingest": {
+                "accepted": snap.accepted,
+                "dropped": snap.dropped,
+                "malformed": snap.malformed,
+                "bytes_read": snap.bytes_read,
+                "connections": snap.open_connections,
+                "buffered": len(self.buffer),
+                "skew_last": round(snap.skew_last, 4),
+            },
+            "shards": {
+                shard.name: {
+                    "headroom": shard.headroom,
+                    "target": shard.target,
+                    "alpha": shard.requested_alpha,
+                    "delay_estimate": (lasts[shard.name].delay_estimate
+                                       if shard.name in lasts else None),
+                    "queue_length": (lasts[shard.name].queue_length
+                                     if shard.name in lasts else None),
+                }
+                for shard in self.shards
+            },
+        }
+        return doc
+
+
+def build_live_service(config, svc,
+                       clock: Optional[Clock] = None,
+                       host: str = "127.0.0.1",
+                       ingest_port: int = 0,
+                       buffer_maxlen: int = 100_000,
+                       default_source: str = "live",
+                       bus=None,
+                       max_periods: Optional[int] = None) -> LiveService:
+    """A complete multi-shard live node from ``(config, svc)`` specs.
+
+    The same :class:`~repro.service.config.ServiceConfig` that builds the
+    lockstep service or the process fleet builds the live front-end:
+    same shards, same routing table, same coordinator (migration policy
+    included) — just clocked by real seconds and fed by a socket.
+    """
+    from ..service.coordinator import (  # lazy: avoids a package cycle
+        HeadroomCoordinator,
+        MigrationPolicy,
+    )
+    from ..service.router import make_router
+    from ..service.shard import build_shard
+    headrooms = svc.initial_headrooms()
+    shards = [
+        build_shard(
+            name, config,
+            headroom=headrooms[i],
+            target=config.target,
+            strategy=svc.strategy,
+            engine_seed=config.seed + 104729 * (i + 1),
+            drain_max_extra=svc.drain_max_extra,
+            backend=svc.backend,
+        )
+        for i, name in enumerate(svc.shard_names)
+    ]
+    assignments = (svc.default_assignments()
+                   if svc.router == "explicit" else None)
+    if assignments is not None:
+        # bare wire tuples carry no source field and fall back to
+        # default_source; a pins-only table must know where to put them
+        assignments.setdefault(default_source, 0)
+    table = make_router(svc.router, svc.n_shards, assignments)
+    policy = None
+    if svc.migration:
+        policy = MigrationPolicy(
+            patience=svc.migration_patience,
+            cooldown=svc.migration_cooldown,
+            deficit=svc.migration_deficit,
+            max_migrations=svc.max_migrations,
+            drain_budget=svc.migration_drain_budget,
+        )
+    coordinator = HeadroomCoordinator(
+        mode=svc.mode,
+        gain=svc.rebalance_gain,
+        headroom_floor=svc.headroom_floor,
+        headroom_ceiling=svc.headroom_ceiling,
+        loss_bound=svc.loss_bound,
+        migration_policy=policy,
+    )
+    return LiveService(shards, table, coordinator,
+                       clock=clock, host=host, ingest_port=ingest_port,
+                       buffer_maxlen=buffer_maxlen,
+                       default_source=default_source, bus=bus,
+                       serve=svc.serve, serve_port=svc.serve_port,
+                       max_periods=max_periods)
 
 
 def build_live_runner(config,

@@ -16,21 +16,39 @@ coordinated loops stay stable.
 """
 
 from .config import DEFAULT_TOTAL_HEADROOM, FleetConfig, ServiceConfig
-from .coordinator import MODES, HeadroomCoordinator
+from .coordinator import MODES, HeadroomCoordinator, MigrationPolicy
 from .fleet import ProcessFleet, ShardProxy, build_fleet
-from .router import ExplicitRouter, HashRouter, StreamRouter, make_router
-from .service import ServiceResult, StreamService, build_service
-from .shard import SHARD_CONTROLLERS, EngineShard, build_shard
+from .router import (
+    ExplicitRouter,
+    HashRouter,
+    RouteEntry,
+    RoutingTable,
+    StreamRouter,
+    make_router,
+)
+from .service import (
+    PeriodDispatcher,
+    ServiceResult,
+    StreamService,
+    build_service,
+    execute_migration,
+)
+from .shard import SHARD_CONTROLLERS, DrainReport, EngineShard, build_shard
 
 __all__ = [
     "DEFAULT_TOTAL_HEADROOM",
+    "DrainReport",
     "EngineShard",
     "ExplicitRouter",
     "FleetConfig",
     "HashRouter",
     "HeadroomCoordinator",
     "MODES",
+    "MigrationPolicy",
+    "PeriodDispatcher",
     "ProcessFleet",
+    "RouteEntry",
+    "RoutingTable",
     "SHARD_CONTROLLERS",
     "ServiceConfig",
     "ServiceResult",
@@ -40,5 +58,6 @@ __all__ = [
     "build_fleet",
     "build_service",
     "build_shard",
+    "execute_migration",
     "make_router",
 ]

@@ -42,6 +42,19 @@ class ServiceConfig:
     per_source_rate: Optional[float] = None  # tuples/s of a regular source;
                                              # None -> 55% of one shard's
                                              # baseline capacity
+    # live source migration (the coordinator's second actuator): move a
+    # source off a shard whose headroom deficit persists after rebalancing
+    migration: bool = False
+    #: consecutive post-rebalance deficit periods before a move triggers
+    migration_patience: int = 4
+    #: periods to wait after any migration before considering another
+    migration_cooldown: int = 12
+    #: headroom deficit (demand - allocation) that counts as "still hot"
+    migration_deficit: float = 0.10
+    #: virtual seconds the old shard may spend draining at cutover
+    migration_drain_budget: float = 5.0
+    #: hard cap on moves per run; None = unlimited
+    max_migrations: Optional[int] = None
     # observability (repro.obs): run online health detectors / per-period
     # wall-clock tracing alongside the fleet
     health: bool = False
@@ -74,6 +87,34 @@ class ServiceConfig:
             raise ServiceError(
                 f"equal split {share:.4f} falls outside the per-shard bounds "
                 f"[{self.headroom_floor}, {self.headroom_ceiling}]"
+            )
+        if self.migration_patience < 1:
+            raise ServiceError(
+                f"migration_patience must be >= 1, got "
+                f"{self.migration_patience}"
+            )
+        if self.migration_cooldown < 0:
+            raise ServiceError(
+                f"migration_cooldown must be >= 0, got "
+                f"{self.migration_cooldown}"
+            )
+        if self.migration_deficit < 0:
+            raise ServiceError(
+                f"migration_deficit must be >= 0, got {self.migration_deficit}"
+            )
+        if self.migration_drain_budget < 0:
+            raise ServiceError(
+                f"migration_drain_budget must be >= 0, got "
+                f"{self.migration_drain_budget}"
+            )
+        if self.max_migrations is not None and self.max_migrations < 0:
+            raise ServiceError(
+                f"max_migrations must be >= 0, got {self.max_migrations}"
+            )
+        if self.migration and self.mode != "headroom":
+            raise ServiceError(
+                "migration needs mode='headroom': the policy triggers on "
+                "the headroom rebalancer's per-shard demand signal"
             )
 
     @property

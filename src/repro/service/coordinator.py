@@ -28,18 +28,166 @@ Orthogonally to the mode, an optional ``loss_bound`` reconciles the
 per-shard entry shedders against a global drop SLA: when the fleet's
 expected drop fraction for the coming period exceeds the bound, every
 shard's drop probability is scaled down proportionally to its demand.
+
+CPU-share rebalancing redistributes *capacity*; it cannot help when one
+shard's demand exceeds the per-shard ``headroom_ceiling`` (the model of a
+single node's physical limit). For that the coordinator has a second
+actuator: a :class:`MigrationPolicy` that proposes moving a *source* off
+a shard whose post-rebalance headroom deficit persists — placement
+rebalancing on top of share rebalancing, after "Model-Free Control for
+Distributed Stream Data Processing" (PAPERS.md), which re-assigns stream
+partitions between workers as its primary actuator. The policy only
+*plans* (``entry["migration"]``); the owning runtime executes the
+drain -> cutover transaction, because only it can quiesce the shard
+(docs/THEORY.md §13).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..errors import ServiceError
 from ..metrics.recorder import PeriodRecord
 from ..obs.events import ShardRebalanced
+from .router import RoutingTable
 from .shard import EngineShard
 
 MODES = ("independent", "target", "headroom")
+
+
+class MigrationPolicy:
+    """Decides when a persistently hot shard should shed a *source*.
+
+    Observes each period's headroom-rebalance outcome: a shard whose
+    demand still exceeds its (gain-smoothed) allocation by more than
+    ``deficit`` for ``patience`` consecutive periods is declared stuck —
+    rebalancing alone cannot fix it (typically because the per-shard
+    ceiling binds). The policy then plans one move: the source on the
+    hot shard whose estimated CPU share best fits the transferable gap,
+    to the shard with the most surplus.
+
+    All iteration is over sorted keys and ties break deterministically,
+    so the lockstep service and the fleet parent produce identical plans
+    from identical inputs — a requirement for sync-mode equivalence.
+    """
+
+    def __init__(self, patience: int = 4, cooldown: int = 12,
+                 deficit: float = 0.10,
+                 max_migrations: Optional[int] = None,
+                 ewma_alpha: float = 0.3,
+                 drain_budget: float = 5.0):
+        if patience < 1:
+            raise ServiceError(f"migration patience must be >= 1, "
+                               f"got {patience}")
+        if cooldown < 0:
+            raise ServiceError(f"migration cooldown must be >= 0, "
+                               f"got {cooldown}")
+        if deficit < 0:
+            raise ServiceError(f"migration deficit must be >= 0, "
+                               f"got {deficit}")
+        if max_migrations is not None and max_migrations < 0:
+            raise ServiceError(f"max_migrations must be >= 0, "
+                               f"got {max_migrations}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ServiceError(f"ewma alpha {ewma_alpha} outside (0, 1]")
+        if drain_budget < 0:
+            raise ServiceError(f"drain budget must be >= 0, "
+                               f"got {drain_budget}")
+        self.drain_budget = drain_budget
+        self.patience = patience
+        self.cooldown = cooldown
+        self.deficit = deficit
+        self.max_migrations = max_migrations
+        self.ewma_alpha = ewma_alpha
+        #: smoothed per-source tuple counts per period (the placement signal)
+        self.source_rates: Dict[str, float] = {}
+        self._streaks: Dict[int, int] = {}
+        self._last_migration_k: Optional[int] = None
+        self.migrations = 0
+
+    def consider(self, k: int, entry: dict,
+                 shards: Sequence[EngineShard],
+                 periods: Sequence[PeriodRecord],
+                 table: RoutingTable,
+                 source_counts: Mapping[str, int]) -> Optional[dict]:
+        """Observe one period; return a migration plan dict or ``None``.
+
+        The plan is ``{"source", "from", "to", "deficit", "budget"}`` —
+        the runtime that executes it appends the cutover ``epoch``.
+        """
+        a = self.ewma_alpha
+        for source in sorted(source_counts):
+            prev = self.source_rates.get(source)
+            count = float(source_counts[source])
+            self.source_rates[source] = (
+                count if prev is None else (1.0 - a) * prev + a * count
+            )
+        demands = entry.get("demand")
+        headrooms = entry.get("headroom")
+        if not demands or not headrooms:
+            return None
+        deficits = [d - h for d, h in zip(demands, headrooms)]
+        for i, gap in enumerate(deficits):
+            if gap > self.deficit:
+                self._streaks[i] = self._streaks.get(i, 0) + 1
+            else:
+                self._streaks[i] = 0
+        if (self.max_migrations is not None
+                and self.migrations >= self.max_migrations):
+            return None
+        if (self._last_migration_k is not None
+                and k - self._last_migration_k <= self.cooldown):
+            return None
+        # hottest stuck shard: largest deficit among those past patience
+        stuck = [i for i in range(len(shards))
+                 if self._streaks.get(i, 0) >= self.patience]
+        if not stuck:
+            return None
+        hot = max(stuck, key=lambda i: (deficits[i], -i))
+        # coolest shard: most surplus capacity; must actually have some
+        surpluses = [-gap for gap in deficits]
+        cold = max(range(len(shards)), key=lambda i: (surpluses[i], -i))
+        if cold == hot or surpluses[cold] <= 0:
+            return None
+        per_source = self._shard_sources(table)
+        hosted = per_source.get(hot, [])
+        if len(hosted) < 2:
+            # moving a shard's only source just relocates the hotspot
+            return None
+        source = self._pick_source(hosted, periods[hot].cost,
+                                   shards[hot].loop.period,
+                                   deficits[hot], surpluses[cold])
+        if source is None:
+            return None
+        self._streaks[hot] = 0
+        self._last_migration_k = k
+        self.migrations += 1
+        return {"source": source, "from": hot, "to": cold,
+                "deficit": deficits[hot], "budget": self.drain_budget}
+
+    def _shard_sources(self, table: RoutingTable) -> Dict[int, List[str]]:
+        out: Dict[int, List[str]] = {}
+        for source in sorted(self.source_rates):
+            out.setdefault(table.shard_of(source), []).append(source)
+        return out
+
+    def _pick_source(self, hosted: Sequence[str], cost: float,
+                     period: float, excess: float,
+                     surplus: float) -> Optional[str]:
+        """The hosted source whose CPU share best fits the movable gap.
+
+        Best-fit rather than biggest-first: moving more than the cold
+        shard's surplus would just relocate the hotspot. ``hosted`` is
+        sorted, and ``min`` keeps the first of equals, so the choice is
+        deterministic.
+        """
+        want = min(excess, surplus)
+        shares = {s: cost * self.source_rates[s] / max(period, 1e-9)
+                  for s in hosted}
+        movable = [s for s in hosted if shares[s] > 0.0]
+        if not movable:
+            return None
+        return min(movable, key=lambda s: (abs(shares[s] - want), s))
 
 
 class HeadroomCoordinator:
@@ -50,7 +198,8 @@ class HeadroomCoordinator:
                  headroom_floor: float = 0.02,
                  headroom_ceiling: float = 0.97,
                  target_floor_fraction: float = 0.25,
-                 loss_bound: Optional[float] = None):
+                 loss_bound: Optional[float] = None,
+                 migration_policy: Optional[MigrationPolicy] = None):
         if mode not in MODES:
             raise ServiceError(f"unknown coordinator mode {mode!r}; "
                                f"pick from {MODES}")
@@ -73,6 +222,12 @@ class HeadroomCoordinator:
         self.headroom_ceiling = headroom_ceiling
         self.target_floor_fraction = target_floor_fraction
         self.loss_bound = loss_bound
+        if migration_policy is not None and mode != "headroom":
+            raise ServiceError(
+                "migration policy needs mode='headroom' (it triggers on "
+                "the headroom rebalancer's demand signal)"
+            )
+        self.migration_policy = migration_policy
         #: one dict per period: what was observed and what was allocated
         self.history: List[dict] = []
         #: observability bus the service wires in; None = silent
@@ -82,8 +237,16 @@ class HeadroomCoordinator:
     # the once-per-period entry point
     # ------------------------------------------------------------------ #
     def rebalance(self, k: int, shards: Sequence[EngineShard],
-                  periods: Sequence[PeriodRecord]) -> dict:
-        """Observe period ``k``'s close and adjust the fleet for ``k + 1``."""
+                  periods: Sequence[PeriodRecord],
+                  source_counts: Optional[Mapping[str, int]] = None,
+                  table: Optional[RoutingTable] = None) -> dict:
+        """Observe period ``k``'s close and adjust the fleet for ``k + 1``.
+
+        ``source_counts`` (this period's routed tuples per source) and
+        ``table`` feed the optional migration policy; the returned entry
+        then may carry a ``"migration"`` plan for the runtime to execute
+        before period ``k + 1``.
+        """
         if len(shards) != len(periods):
             raise ServiceError("one period record per shard required")
         entry: dict = {"k": k, "mode": self.mode}
@@ -93,6 +256,12 @@ class HeadroomCoordinator:
             self._rebalance_targets(shards, periods, entry)
         if self.loss_bound is not None:
             self._reconcile_drop_caps(shards, periods, entry)
+        if (self.migration_policy is not None
+                and source_counts is not None and table is not None):
+            plan = self.migration_policy.consider(
+                k, entry, shards, periods, table, source_counts)
+            if plan is not None:
+                entry["migration"] = plan
         self.history.append(entry)
         bus = self.bus
         if bus is not None and bus and len(entry) > 2:

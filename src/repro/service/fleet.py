@@ -66,12 +66,12 @@ import multiprocessing
 from ..errors import ServiceError
 from ..metrics.recorder import PeriodRecord, RunRecord
 from ..obs.bus import EventBus, get_bus
-from ..obs.events import WorkerDown, WorkerRestarted
+from ..obs.events import RouteChanged, WorkerDown, WorkerRestarted
 from ..obs.health import HealthMonitor
 from ..obs.relay import CommandChannel, EventRelay, worker_relay
 from .config import FleetConfig, ServiceConfig
-from .coordinator import HeadroomCoordinator
-from .router import make_router
+from .coordinator import HeadroomCoordinator, MigrationPolicy
+from .router import RoutingTable, make_router
 from .service import Arrival, ServiceResult
 from .shard import build_shard
 
@@ -139,8 +139,19 @@ class ShardProxy:
         return ops
 
 
-def _apply_ops(shard, ops: Sequence[Tuple[str, float]]) -> None:
-    """Apply journalled/downlinked coordinator ops to the real shard."""
+def _apply_ops(shard, ops: Sequence[Tuple[str, object]],
+               table: Optional[RoutingTable] = None) -> None:
+    """Apply journalled/downlinked coordinator ops to the real shard.
+
+    Besides the scalar knob ops, the channel carries the migration
+    transaction: ``("drain_source", (source, budget, k, from, to))``
+    quiesces the worker's engine and
+    ``("route", (source, shard_index, epoch))`` commits the cutover on
+    the worker's routing-table replica. Replaying a journal through this
+    function therefore reproduces cutovers exactly — the replica ends at
+    the journalled epoch and the replayed engine drained at the same
+    period boundary the original did.
+    """
     for op, value in ops:
         if op == "headroom":
             shard.set_headroom(value)
@@ -148,24 +159,43 @@ def _apply_ops(shard, ops: Sequence[Tuple[str, float]]) -> None:
             shard.set_target(value)
         elif op == "alpha_cap":
             shard.cap_alpha(value)
+        elif op == "drain_source":
+            source, budget, k, src, dst = value
+            shard.drain_source(source, budget, k=k,
+                               from_shard=src, to_shard=dst)
+        elif op == "route":
+            if table is None:
+                raise ServiceError(
+                    "route op received but this worker holds no "
+                    "routing-table replica"
+                )
+            source, shard_index, epoch = value
+            table.apply_route(source, shard_index, epoch)
         else:
             raise ServiceError(f"unknown coordinator op {op!r}")
 
 
 def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
-                  headroom: float, engine_seed: int,
-                  arrivals: Sequence[Arrival], n_periods: int,
+                  headroom: float, engine_seed: int, index: int,
+                  arrivals: Sequence[Arrival], table_snapshot: dict,
+                  n_periods: int,
                   summary_queue, command_queue, relay_queue,
                   journal: Dict[int, list], resume_k: int, restart_no: int,
                   fail_k: Optional[int]) -> None:
     """One shard's whole life, in its own process.
 
-    Replays periods ``0..resume_k`` silently (no summaries, no relay —
-    the parent already accounted for them), then goes live: close a
-    period, ship its summary, and in sync mode block for the
-    coordinator's op barrier before opening the next. ``fail_k`` is the
-    failure-injection test hook: the first incarnation dies abruptly at
-    the start of that period.
+    Receives the *full* arrival stream plus a replica of the initial
+    routing table, and keeps only the tuples the replica routes to
+    ``index`` — so when a journalled/downlinked ``route`` op re-pins a
+    source mid-run, this worker's filter flips at exactly the same period
+    boundary the parent's authoritative table did. Replays periods
+    ``0..resume_k`` silently (no summaries, no relay — the parent already
+    accounted for them; the replica replays through any journalled
+    cutover to the correct epoch), then goes live: close a period, ship
+    its summary, and in sync mode block for the coordinator's op barrier
+    before opening the next. ``fail_k`` is the failure-injection test
+    hook: the first incarnation dies abruptly at the start of that
+    period.
     """
     try:
         # a Ctrl-C to the process *group* hits every worker as well as the
@@ -194,6 +224,10 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
         shard.engine.bus = scoped
         period = shard.loop.period
         patience = svc.worker_patience
+        # the replica: journalled/downlinked route ops keep it in sync
+        # with the parent's authoritative table (RoutingTable memoizes
+        # lookups internally and invalidates on every mutation)
+        table = RoutingTable.from_snapshot(table_snapshot)
 
         it = iter(arrivals)
         pending = next(it, None)
@@ -202,8 +236,9 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
             nonlocal pending
             due: List[Arrival] = []
             while pending is not None and pending[0] < boundary:
-                t, values, _source = pending
-                due.append((t, values, shard.entry_source))
+                t, values, source = pending
+                if table.shard_of(source) == index:
+                    due.append((t, values, shard.entry_source))
                 pending = next(it, None)
             return due
 
@@ -224,7 +259,7 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
                         f"shard {name!r} expected period-{k} commands, "
                         f"got period-{kk}"
                     )
-                _apply_ops(shard, ops)
+                _apply_ops(shard, ops, table)
                 return
 
         def drain_ops() -> None:
@@ -233,14 +268,14 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
                     __, __k, ops = command_queue.get_nowait()
                 except _queue.Empty:
                     return
-                _apply_ops(shard, ops)
+                _apply_ops(shard, ops, table)
 
         record = shard.loop.begin()
         # --- silent replay of the lost incarnation ---------------------- #
         for k in range(resume_k + 1):
             shard.loop.run_period(record, k, due_before((k + 1) * period))
             if k in journal:
-                _apply_ops(shard, journal[k])
+                _apply_ops(shard, journal[k], table)
         if svc.sync and resume_k >= 0 and resume_k not in journal:
             # the row we died on had not been rebalanced yet; the barrier
             # op for it arrives over the live channel once it closes
@@ -251,7 +286,7 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
                      if relay_queue is not None else nullcontext())
         with relay_ctx:
             summary_queue.put(("ready", name, resume_k, restart_no,
-                               os.getpid()))
+                               os.getpid(), table.epoch))
             for k in range(resume_k + 1, n_periods):
                 if fail_k is not None and k == fail_k and restart_no == 0:
                     os._exit(17)  # test hook: die without flushing anything
@@ -277,7 +312,6 @@ class _WorkerState:
     """Parent-side bookkeeping for one shard's worker (all incarnations)."""
 
     index: int
-    slice: Sequence[Arrival]
     proc: Optional[object] = None
     pid: Optional[int] = None
     restarts: int = 0
@@ -285,6 +319,8 @@ class _WorkerState:
     journal: Dict[int, list] = field(default_factory=dict)
     record: Optional[RunRecord] = None
     dead_since: Optional[float] = None
+    #: the worker replica's routing-table epoch at its last "ready"
+    epoch: int = 0
 
 
 class ProcessFleet:
@@ -325,12 +361,22 @@ class ProcessFleet:
         assignments = (svc.default_assignments()
                        if svc.router == "explicit" else None)
         self.router = make_router(svc.router, svc.n_shards, assignments)
+        policy = None
+        if svc.migration:
+            policy = MigrationPolicy(
+                patience=svc.migration_patience,
+                cooldown=svc.migration_cooldown,
+                deficit=svc.migration_deficit,
+                max_migrations=svc.max_migrations,
+                drain_budget=svc.migration_drain_budget,
+            )
         self.coordinator = HeadroomCoordinator(
             mode=svc.mode,
             gain=svc.rebalance_gain,
             headroom_floor=svc.headroom_floor,
             headroom_ceiling=svc.headroom_ceiling,
             loss_bound=svc.loss_bound,
+            migration_policy=policy,
         )
         self.coordinator.bus = self.bus
         self.period = config.period
@@ -349,6 +395,7 @@ class ProcessFleet:
     # ------------------------------------------------------------------ #
     def status(self) -> dict:
         """A live JSON-able view of the fleet (the ``/status`` payload)."""
+        policy = self.coordinator.migration_policy
         return {
             "mode": self.coordinator.mode,
             "period": self.period,
@@ -356,6 +403,8 @@ class ProcessFleet:
             "k": self._k,
             "running": self._running,
             "sync": self.svc.sync,
+            "routing_epoch": self.router.epoch,
+            "migrations": policy.migrations if policy is not None else 0,
             "shards": {
                 proxy.name: {
                     "headroom": proxy.headroom,
@@ -364,6 +413,7 @@ class ProcessFleet:
                     "pid": state.pid if state else None,
                     "restarts": state.restarts if state else 0,
                     "last_k": state.last_acked if state else -1,
+                    "epoch": state.epoch if state else 0,
                 }
                 for proxy, state in (
                     (p, self._states.get(p.name)) for p in self.proxies
@@ -408,14 +458,19 @@ class ProcessFleet:
         monitor = HealthMonitor(self.bus) if svc.health else None
         wall_start = _time.perf_counter()
         n_periods = int(round(duration / self.period))
-        per_shard = self.router.partition(arrivals)
+        # every worker sees the full stream and filters through its table
+        # replica, so route changes flip worker filters at the same period
+        # boundary they flip the parent's authoritative table. Replicas
+        # (including replacements) always start from the *initial*
+        # snapshot and replay forward through the journalled route ops.
+        initial_table = self.router.snapshot()
         ctx = self._mp_context()
         summary_q = ctx.Queue()
         channel = CommandChannel(ctx)
         relay = None
         if svc.relay or svc.serve or svc.health:
             relay = EventRelay(bus=self.bus).start()
-        states = {name: _WorkerState(index=i, slice=per_shard[i])
+        states = {name: _WorkerState(index=i)
                   for i, name in enumerate(names)}
         self._states = states
         headrooms = svc.initial_headrooms()
@@ -423,6 +478,19 @@ class ProcessFleet:
         next_row = 0
         done_count = 0
         last_progress = _time.monotonic()
+        # parent-side per-period source tallies for the migration policy
+        # (rows close in k order, so one shared iterator suffices)
+        tally_iter = iter(arrivals)
+        tally_pending = next(tally_iter, None)
+
+        def tally_before(boundary: float) -> Dict[str, int]:
+            nonlocal tally_pending
+            counts: Dict[str, int] = {}
+            while tally_pending is not None and tally_pending[0] < boundary:
+                source = tally_pending[2]
+                counts[source] = counts.get(source, 0) + 1
+                tally_pending = next(tally_iter, None)
+            return counts
 
         def spawn(name: str) -> None:
             st = states[name]
@@ -433,7 +501,8 @@ class ProcessFleet:
                 daemon=True,
                 args=(name, self.config, svc, headrooms[st.index],
                       self.config.seed + _SEED_STRIDE * (st.index + 1),
-                      st.slice, n_periods, summary_q, cmd_q,
+                      st.index, arrivals, initial_table,
+                      n_periods, summary_q, cmd_q,
                       relay.queue if relay is not None else None,
                       dict(st.journal), st.last_acked, st.restarts,
                       self.fail_at.get(name)),
@@ -446,9 +515,33 @@ class ProcessFleet:
             closed = [row[name][0] for name in names]
             for proxy, name in zip(self.proxies, names):
                 proxy.requested_alpha = row[name][1]
-            self.coordinator.rebalance(k, self.proxies, closed)
+            counts = tally_before((k + 1) * self.period)
+            entry = self.coordinator.rebalance(k, self.proxies, closed,
+                                               source_counts=counts,
+                                               table=self.router)
+            extra_ops: Dict[str, list] = {}
+            plan = entry.get("migration")
+            if plan is not None:
+                # commit the cutover on the authoritative table now (the
+                # next rebalance must see post-move placement), and ship
+                # the transaction down the barrier: the old shard drains
+                # *then* re-pins, every other replica just re-pins
+                source, src, dst = plan["source"], plan["from"], plan["to"]
+                epoch = self.router.migrate(source, src, dst)
+                plan["epoch"] = epoch
+                drain = ("drain_source",
+                         (source, plan.get("budget", 5.0), k, src, dst))
+                route = ("route", (source, dst, epoch))
+                extra_ops[names[src]] = [drain, route]
+                for other in names:
+                    if other != names[src]:
+                        extra_ops[other] = [route]
+                if self.bus:
+                    self.bus.emit(RouteChanged(
+                        k=k, source=source, from_shard=src, to_shard=dst,
+                        epoch=epoch))
             for proxy, name in zip(self.proxies, names):
-                ops = proxy.take_ops()
+                ops = proxy.take_ops() + extra_ops.get(name, [])
                 states[name].journal[k] = ops
                 if svc.sync or ops:
                     channel.send(name, ("ops", k, ops))
@@ -470,12 +563,13 @@ class ProcessFleet:
                     next_row += 1
                 return 0
             if kind == "ready":
-                __, name, resumed_k, restart_no, pid = msg
+                __, name, resumed_k, restart_no, pid, epoch = msg
                 states[name].pid = pid
+                states[name].epoch = epoch
                 if restart_no > 0 and self.bus:
                     self.bus.emit(WorkerRestarted(
                         resumed_k=resumed_k, restarts=restart_no,
-                        shard=name))
+                        epoch=epoch, shard=name))
                 return 0
             if kind == "done":
                 __, name, record, __restart = msg

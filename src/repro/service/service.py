@@ -1,11 +1,19 @@
 """The service runner: N shard loops in lockstep under one coordinator.
 
 :class:`StreamService` drives every shard's control loop period by period
-on a shared clock grid: each period the router-partitioned arrivals are
-fed to their shards, every shard closes its period (measure -> decide ->
-arm), and then the coordinator observes all shards at once and rebalances
-headroom/targets/drop caps for the next period. With the coordinator in
-``"independent"`` mode this degenerates to N disjoint paper loops.
+on a shared clock grid: each period the due arrivals are routed through
+the (possibly live-mutating) routing table to their shards, every shard
+closes its period (measure -> decide -> arm), and then the coordinator
+observes all shards at once and rebalances headroom/targets/drop caps for
+the next period. With the coordinator in ``"independent"`` mode this
+degenerates to N disjoint paper loops.
+
+Routing happens *per period*, not up front, so a coordinator-planned
+migration takes effect at exactly one period boundary: the service drains
+the old shard, commits the cutover on the routing table (bumping its
+epoch), and the next period's dispatch follows the new pin — the same
+transaction the process fleet journals and the live server applies to
+socket tuples (docs/THEORY.md §13).
 
 The result keeps one :class:`~repro.metrics.recorder.RunRecord` per shard
 plus a merged aggregate record, all exportable through the existing
@@ -23,17 +31,94 @@ from ..metrics.export import record_to_json
 from ..metrics.qos import QosMetrics, combine_qos
 from ..metrics.recorder import RunRecord, merge_records
 from ..obs.bus import get_bus
+from ..obs.events import RouteChanged
 from ..obs.health import HealthMonitor
 from ..obs.tracing import PeriodTracer, merge_flames
 from .config import ServiceConfig
-from .coordinator import HeadroomCoordinator
-from .router import StreamRouter, make_router
-from .shard import EngineShard, build_shard
+from .coordinator import HeadroomCoordinator, MigrationPolicy
+from .router import RoutingTable, StreamRouter, make_router
+from .shard import DrainReport, EngineShard, build_shard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from ..experiments.config import ExperimentConfig
 
 Arrival = Tuple[float, Tuple, str]
+
+
+class PeriodDispatcher:
+    """Routes one time-ordered arrival stream period by period.
+
+    The per-period counterpart of :meth:`StreamRouter.partition`: pulls
+    the arrivals due before each boundary and splits them by the router's
+    *current* mapping, so mid-run routing-table mutations (migrations)
+    take effect at exactly the next period boundary. Lookups are memoized
+    and the memo is invalidated whenever the table's epoch moves, so the
+    steady-state cost matches the old up-front partition.
+
+    Shared by the lockstep service, the fleet parent (source tallies +
+    equivalence bookkeeping) and the live server's ticker.
+    """
+
+    def __init__(self, router: StreamRouter, arrivals: Sequence[Arrival]):
+        self.router = router
+        self._iter: Iterator[Arrival] = iter(arrivals)
+        self._pending: Optional[Arrival] = next(self._iter, None)
+        self._cache: Dict[str, int] = {}
+        self._epoch = getattr(router, "epoch", None)
+
+    def shard_of(self, source: str) -> int:
+        epoch = getattr(self.router, "epoch", None)
+        if epoch != self._epoch:
+            self._cache.clear()
+            self._epoch = epoch
+        shard = self._cache.get(source)
+        if shard is None:
+            shard = self.router.shard_of(source)
+            if not 0 <= shard < self.router.n_shards:
+                raise ServiceError(
+                    f"router mapped source {source!r} to shard {shard}, "
+                    f"outside [0, {self.router.n_shards})"
+                )
+            self._cache[source] = shard
+        return shard
+
+    def due(self, boundary: float
+            ) -> Tuple[List[List[Arrival]], Dict[str, int]]:
+        """Per-shard arrivals strictly before ``boundary`` + source tally.
+
+        Arrivals keep their logical source names; the caller renames to
+        each shard's physical entry source (shards do not know logical
+        streams). The tally feeds the coordinator's migration policy.
+        """
+        out: List[List[Arrival]] = [[] for __ in range(self.router.n_shards)]
+        counts: Dict[str, int] = {}
+        while self._pending is not None and self._pending[0] < boundary:
+            arrival = self._pending
+            source = arrival[2]
+            out[self.shard_of(source)].append(arrival)
+            counts[source] = counts.get(source, 0) + 1
+            self._pending = next(self._iter, None)
+        return out, counts
+
+
+def execute_migration(k: int, plan: dict, shards: Sequence[EngineShard],
+                      table: RoutingTable, bus=None) -> DrainReport:
+    """Run one coordinator-planned migration: drain -> cutover -> announce.
+
+    Mutates ``plan`` in place with the cutover ``epoch`` — the plan dict
+    is also the coordinator's history entry, so both the lockstep service
+    and the fleet record identical, epoch-stamped histories.
+    """
+    source = plan["source"]
+    src, dst = plan["from"], plan["to"]
+    report = shards[src].drain_source(
+        source, plan.get("budget", 5.0), k=k, from_shard=src, to_shard=dst)
+    epoch = table.migrate(source, src, dst)
+    plan["epoch"] = epoch
+    if bus:
+        bus.emit(RouteChanged(k=k, source=source, from_shard=src,
+                              to_shard=dst, epoch=epoch))
+    return report
 
 
 @dataclass
@@ -143,12 +228,15 @@ class StreamService:
 
     def status(self) -> dict:
         """A live JSON-able view of the fleet (the ``/status`` payload)."""
+        policy = self.coordinator.migration_policy
         return {
             "mode": self.coordinator.mode,
             "period": self.period,
             "n_shards": len(self.shards),
             "k": self._k,
             "running": self._running,
+            "routing_epoch": getattr(self.router, "epoch", None),
+            "migrations": policy.migrations if policy is not None else 0,
             "shards": {
                 shard.name: {
                     "headroom": shard.headroom,
@@ -192,31 +280,35 @@ class StreamService:
                 shard.loop.tracer = PeriodTracer()
         wall_start = _time.perf_counter()
         n_periods = int(round(duration / self.period))
-        if svc_tracer is not None:
-            with svc_tracer.span("dispatch"):
-                per_shard = self.router.partition(arrivals)
-        else:
-            per_shard = self.router.partition(arrivals)
-        iters: List[Iterator[Arrival]] = [iter(lst) for lst in per_shard]
-        pendings: List[Optional[Arrival]] = [next(it, None) for it in iters]
+        table = self.router if isinstance(self.router, RoutingTable) else None
+        dispatcher = PeriodDispatcher(self.router, arrivals)
         records = [shard.loop.begin() for shard in self.shards]
         for k in range(n_periods):
             boundary = (k + 1) * self.period
+            if svc_tracer is not None:
+                with svc_tracer.span("dispatch"):
+                    per_shard, counts = dispatcher.due(boundary)
+            else:
+                per_shard, counts = dispatcher.due(boundary)
             closed = []
             for i, shard in enumerate(self.shards):
                 # logical stream names route tuples to shards; inside the
                 # shard they all enter at its physical source
-                due: List[Arrival] = []
-                while pendings[i] is not None and pendings[i][0] < boundary:
-                    t, values, _source = pendings[i]
-                    due.append((t, values, shard.entry_source))
-                    pendings[i] = next(iters[i], None)
+                due = [(t, values, shard.entry_source)
+                       for t, values, __ in per_shard[i]]
                 closed.append(shard.loop.run_period(records[i], k, due))
             if svc_tracer is not None:
                 with svc_tracer.span("coordinator"):
-                    self.coordinator.rebalance(k, self.shards, closed)
+                    entry = self.coordinator.rebalance(
+                        k, self.shards, closed,
+                        source_counts=counts, table=table)
             else:
-                self.coordinator.rebalance(k, self.shards, closed)
+                entry = self.coordinator.rebalance(
+                    k, self.shards, closed,
+                    source_counts=counts, table=table)
+            plan = entry.get("migration")
+            if plan is not None:
+                execute_migration(k, plan, self.shards, table, bus=self.bus)
             self._k = k
         for shard, record in zip(self.shards, records):
             shard.loop.finish(record, n_periods)
@@ -265,12 +357,22 @@ def build_service(config: "ExperimentConfig",
     assignments = (svc.default_assignments()
                    if svc.router == "explicit" else None)
     router = make_router(svc.router, svc.n_shards, assignments)
+    policy = None
+    if svc.migration:
+        policy = MigrationPolicy(
+            patience=svc.migration_patience,
+            cooldown=svc.migration_cooldown,
+            deficit=svc.migration_deficit,
+            max_migrations=svc.max_migrations,
+            drain_budget=svc.migration_drain_budget,
+        )
     coordinator = HeadroomCoordinator(
         mode=svc.mode,
         gain=svc.rebalance_gain,
         headroom_floor=svc.headroom_floor,
         headroom_ceiling=svc.headroom_ceiling,
         loss_bound=svc.loss_bound,
+        migration_policy=policy,
     )
     return StreamService(shards, router, coordinator,
                          health=svc.health, trace=svc.trace,

@@ -13,13 +13,16 @@ global coordinator needs between control periods:
   ``H/(cT)`` cancels the plant gain ``cT/H`` at whatever ``H`` is in
   force — see docs/THEORY.md §7);
 * :meth:`EngineShard.cap_alpha` — bound the shard's entry-drop
-  probability (the coordinator-reconciled global loss SLA).
+  probability (the coordinator-reconciled global loss SLA);
+* :meth:`EngineShard.drain_source` — flush the shard's in-flight work so
+  a source can be migrated to another shard without leaving half-filled
+  windows behind (docs/THEORY.md §13).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..core import (
@@ -36,11 +39,33 @@ from ..core import (
 )
 from ..dsms import EngineProtocol, identification_network, make_engine
 from ..errors import ServiceError
-from ..obs.events import AlphaCapped, HeadroomChanged
+from ..obs.events import (
+    AlphaCapped,
+    HeadroomChanged,
+    MigrationCompleted,
+    MigrationStarted,
+)
 from ..shedding import BoundedEntryShedder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from ..experiments.config import ExperimentConfig
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What one :meth:`EngineShard.drain_source` call accomplished.
+
+    ``virtual_seconds`` is engine time consumed (the migration's service
+    disruption in the modelled clock); ``truncated`` means the drain
+    budget expired first and ``leftover`` tuples stay on the old shard.
+    """
+
+    source: str
+    backlog: int            # outstanding tuples when the drain started
+    drained: int            # departures produced by the drain
+    leftover: int           # still queued when the drain stopped
+    virtual_seconds: float  # engine-clock time the drain consumed
+    truncated: bool
+
 
 #: controller factories a picklable service spec may name
 SHARD_CONTROLLERS: Dict[str, Callable[[DsmsModel], Controller]] = {
@@ -131,6 +156,65 @@ class EngineShard:
             if bus and alpha_cap < 1.0:
                 # only a binding cap is news; cap=1.0 just lifts a prior one
                 bus.emit(AlphaCapped(cap=float(alpha_cap), shard=self.name))
+
+    # ------------------------------------------------------------------ #
+    # migration support
+    # ------------------------------------------------------------------ #
+    def drain_source(self, source: str, budget: float,
+                     k: int = -1, to_shard: int = -1,
+                     from_shard: int = -1) -> DrainReport:
+        """Flush in-flight work so ``source`` can move to another shard.
+
+        Every admitted tuple enters this shard at one physical
+        ``entry_source``, so the engine's outstanding queue is the union
+        of all logical sources routed here — partially-filled windows
+        included. Draining the *whole* queue (rather than trying to pick
+        one logical source's tuples out of shared operator state) is what
+        keeps windowed-operator semantics intact at the cutover: nothing
+        the old shard already admitted is discarded or split, it all
+        completes here before the source's future tuples route elsewhere
+        (docs/THEORY.md §13).
+
+        Advances the engine's *virtual* clock by at most ``budget``
+        seconds, in chunks, stopping early once the queue empties.
+        Running past a period boundary is safe: the control loop clamps
+        the next period's submissions to the engine clock and runs to
+        ``max(boundary, now)``, so a drain never manufactures late
+        arrivals. Departures stay in the engine's departure buffer for
+        the monitor's next sample, so QoS accounting still sees them.
+        """
+        if budget < 0:
+            raise ServiceError(f"negative drain budget {budget}")
+        engine = self.engine
+        backlog = engine.outstanding
+        bus = self.loop.bus
+        if bus:
+            bus.emit(MigrationStarted(k=k, source=source,
+                                      from_shard=from_shard,
+                                      to_shard=to_shard,
+                                      backlog=backlog, shard=self.name))
+        start_now = engine.now
+        departed0 = engine.departed_total
+        deadline = start_now + float(budget)
+        chunk = max(float(budget) / 16.0, 1e-6)
+        while engine.outstanding > 0 and engine.now < deadline:
+            engine.run_until(min(engine.now + chunk, deadline))
+        leftover = engine.outstanding
+        report = DrainReport(
+            source=source,
+            backlog=backlog,
+            drained=engine.departed_total - departed0,
+            leftover=leftover,
+            virtual_seconds=engine.now - start_now,
+            truncated=leftover > 0,
+        )
+        if bus:
+            bus.emit(MigrationCompleted(
+                k=k, source=source, from_shard=from_shard, to_shard=to_shard,
+                drained=report.drained, leftover=report.leftover,
+                virtual_seconds=report.virtual_seconds,
+                truncated=report.truncated, shard=self.name))
+        return report
 
     # ------------------------------------------------------------------ #
     # coordinator observation points

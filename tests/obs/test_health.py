@@ -4,7 +4,7 @@ import pytest
 
 from repro.metrics import PeriodRecord
 from repro.obs import EventBus, HealthMonitor
-from repro.obs.events import DrainTruncated, PeriodDecision
+from repro.obs.events import DrainTruncated, IngestStats, PeriodDecision
 
 
 def period(k, delay=1.0, target=2.0, alpha=0.1, v=180.0, u=180.0):
@@ -134,6 +134,45 @@ class TestShardImbalance:
                 record=period(k, delay=50.0, target=0.1)))
         hm.finalize()
         assert not hm.has("shard_imbalance")
+
+
+class TestIngestDrops:
+    def _feed(self, bus, dropped, shard="live"):
+        for k, d in enumerate(dropped):
+            bus.scoped(shard).emit(IngestStats(k=k, accepted=100, dropped=d))
+
+    def test_sustained_drops_reported_as_one_episode(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, ingest_patience=3)
+        self._feed(bus, [10, 25, 5, 40])
+        (r,) = hm.reports("ingest_drops")
+        assert r.shard == "live"
+        assert (r.first_k, r.last_k, r.periods) == (0, 3, 4)
+        assert r.value == 40.0               # worst drops/period
+        assert r.severity == "warning"
+        assert "no backpressure" in r.detail
+        assert r.open
+
+    def test_blips_below_patience_stay_clean(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, ingest_patience=3)
+        self._feed(bus, [10, 10, 0, 10, 10])
+        assert hm.healthy()
+        assert not hm.has("ingest_drops")
+
+    def test_recovery_closes_the_episode(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, ingest_patience=2)
+        self._feed(bus, [5, 5, 5, 0])
+        (r,) = hm.reports("ingest_drops")
+        assert not r.open
+        assert r.last_k == 2
+
+    def test_clean_ingest_never_reports(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, ingest_patience=1)
+        self._feed(bus, [0, 0, 0])
+        assert hm.healthy()
 
 
 class TestLifecycle:

@@ -20,8 +20,11 @@ from repro.obs import (
 from repro.obs.events import (
     DrainTruncated,
     HeadroomChanged,
+    IngestStats,
     LateArrival,
+    MigrationCompleted,
     PeriodDecision,
+    RouteChanged,
     ShardRebalanced,
     ShedAction,
 )
@@ -179,6 +182,33 @@ class TestMetricsBridge:
         assert bridge.truncations.value(shard="main") == 1
         assert bridge.rebalances.value(mode="headroom") == 1
         assert bridge.headroom.value(shard="s0") == 0.6
+
+    def test_migration_events(self):
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        bus.emit(RouteChanged(k=5, source="s4", from_shard=0, to_shard=3,
+                              epoch=1))
+        bus.scoped("shard0").emit(MigrationCompleted(
+            k=5, source="s4", from_shard=0, to_shard=3, drained=120,
+            leftover=0, virtual_seconds=1.75, truncated=False))
+        assert bridge.migrations.value(source="s4", from_shard="0",
+                                       to_shard="3") == 1
+        assert bridge.migration_drain.count(shard="shard0") == 1
+        assert bridge.migration_drain.sum(shard="shard0") == 1.75
+
+    def test_ingest_drops_labeled_by_reason(self):
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        bus.scoped("live").emit(IngestStats(k=0, accepted=90, dropped=10,
+                                            malformed=2, bytes_read=4096,
+                                            rate=90.0))
+        assert bridge.ingest_dropped.value(shard="live",
+                                           reason="capacity") == 10
+        text = bridge.registry.prometheus_text()
+        assert 'repro_ingest_dropped_total{shard="live",reason="capacity"} 10' \
+            in text or \
+            'repro_ingest_dropped_total{reason="capacity",shard="live"} 10' \
+            in text
 
     def test_close_stops_listening(self):
         bus = EventBus()

@@ -1,0 +1,133 @@
+"""Multi-shard live serving: socket tuples routed through the live table.
+
+The property under test is the tentpole of live migration: the ticker
+routes every tick's tuples by the routing table's *current* state, so a
+mid-run cutover redirects a source's future tuples to its new shard
+while the sender keeps writing the same source name to the same socket.
+Run on a :class:`~repro.core.clock.ManualClock` so period boundaries,
+and therefore the cutover point, are exact.
+"""
+
+import time
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.errors import ServeError
+from repro.experiments.config import ExperimentConfig
+from repro.obs import EventBus
+from repro.serve import LiveService, build_live_service
+from repro.service import ServiceConfig
+
+CFG = ExperimentConfig(capacity=200.0, period=1.0, target=0.5)
+SVC = ServiceConfig(n_shards=2, n_sources=2, backend="fluid")
+
+
+def _eventually(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def _manual_service(**kwargs):
+    clock = ManualClock()
+    service = build_live_service(CFG, SVC, clock=clock, bus=EventBus(),
+                                 **kwargs)
+    return service, clock
+
+
+def _push(service, source, n):
+    for i in range(n):
+        service.buffer.push((float(i),), source)
+
+
+class TestBuild:
+    def test_shards_table_and_coordinator_wired(self):
+        service, __ = _manual_service(max_periods=1)
+        assert isinstance(service, LiveService)
+        assert len(service.shards) == 2
+        assert service.table.n_shards == 2
+        # explicit routing pins the wire protocol's default source too,
+        # so bare tuples (no source field) cannot kill the ticker
+        assert service.table.routes() == {"s0": 0, "s1": 1, "live": 0}
+        assert service.coordinator.mode == SVC.mode
+
+    def test_bad_max_periods_rejected(self):
+        with pytest.raises(ServeError):
+            build_live_service(CFG, SVC, max_periods=0)
+
+    def test_double_start_rejected(self):
+        service, __ = _manual_service(max_periods=1)
+        service.start()
+        try:
+            with pytest.raises(ServeError):
+                service.start()
+        finally:
+            service.stop()
+
+
+class TestLiveRouting:
+    def test_sources_route_to_their_shards_and_follow_a_migration(self):
+        service, clock = _manual_service(max_periods=3)
+        service.start()
+        try:
+            # period 0: both sources send; the table splits them
+            clock.advance(0.5)
+            _push(service, "s0", 3)
+            _push(service, "s1", 2)
+            clock.advance(0.6)      # close period 0
+            assert _eventually(
+                lambda: service.status()["periods_done"] == 1)
+            assert service.records["shard0"].periods[0].offered == 3
+            assert service.records["shard1"].periods[0].offered == 2
+
+            # cutover between ticks: the sender changes NOTHING
+            epoch = service.table.migrate("s0", 0, 1)
+            assert epoch == 1
+
+            # period 1: the same source name now lands on shard1
+            _push(service, "s0", 4)
+            clock.advance(1.0)      # close period 1
+            assert _eventually(
+                lambda: service.status()["periods_done"] == 2)
+            assert service.records["shard0"].periods[1].offered == 0
+            assert service.records["shard1"].periods[1].offered == 4
+
+            clock.advance(1.0)      # close period 2; ticker retires
+            assert service.wait(timeout=10)
+        finally:
+            result = service.stop()
+        assert service.status()["routing_epoch"] == 1
+        assert service.status()["routes"]["s0"] == 1
+        offered = sum(r.offered_total for r in result.shard_records.values())
+        assert offered == 9
+        assert len(result.coordinator_history) == 3
+
+    def test_unknown_source_falls_back_to_default_pin(self):
+        # the wire default source is pinned at build time, so a tuple
+        # with no source field routes to shard0 instead of raising
+        service, clock = _manual_service(max_periods=1)
+        service.start()
+        try:
+            clock.advance(0.5)
+            _push(service, "live", 2)
+            clock.advance(0.6)
+            assert service.wait(timeout=10)
+        finally:
+            service.stop()
+        assert service.records["shard0"].periods[0].offered == 2
+
+    def test_stop_returns_a_service_result(self):
+        from repro.service import ServiceResult
+
+        service, clock = _manual_service(max_periods=1)
+        service.start()
+        clock.advance(1.1)
+        assert service.wait(timeout=10)
+        result = service.stop()
+        assert isinstance(result, ServiceResult)
+        assert set(result.shard_records) == {"shard0", "shard1"}
+        assert result.mode == SVC.mode

@@ -3,9 +3,17 @@
 import zlib
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServiceError
-from repro.service import ExplicitRouter, HashRouter, StreamRouter, make_router
+from repro.service import (
+    ExplicitRouter,
+    HashRouter,
+    RoutingTable,
+    StreamRouter,
+    make_router,
+)
 
 
 def arrivals_for(sources, per_source=3):
@@ -103,6 +111,97 @@ class TestMakeRouter:
     def test_unknown_spec_rejected(self):
         with pytest.raises(ServiceError):
             make_router("range", 2)
+
+
+SOURCE_NAMES = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), max_size=12)
+
+
+class TestRoutingTableInvariants:
+    """Property-style invariants the migration machinery relies on."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(sources=st.lists(SOURCE_NAMES, min_size=1, max_size=20),
+           n_shards=st.integers(min_value=1, max_value=9))
+    def test_hash_routing_stable_under_rebuild(self, sources, n_shards):
+        # A shard-count-preserving rebuild (fresh table, or snapshot
+        # round-trip) maps every never-pinned source identically.
+        a = RoutingTable(n_shards)
+        before = [a.shard_of(s) for s in sources]
+        b = RoutingTable(n_shards)
+        c = RoutingTable.from_snapshot(a.snapshot())
+        assert [b.shard_of(s) for s in sources] == before
+        assert [c.shard_of(s) for s in sources] == before
+
+    @settings(max_examples=50, deadline=None)
+    @given(pins=st.dictionaries(SOURCE_NAMES,
+                                st.integers(min_value=0, max_value=5),
+                                min_size=1, max_size=10),
+           n_shards=st.integers(min_value=6, max_value=9))
+    def test_explicit_pins_always_win(self, pins, n_shards):
+        table = RoutingTable(n_shards, pins=pins)
+        for source, shard in pins.items():
+            assert table.shard_of(source) == shard
+            assert table.entry_of(source).pinned
+
+    @settings(max_examples=50, deadline=None)
+    @given(moves=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=30))
+    def test_source_epochs_strictly_monotone(self, moves):
+        table = RoutingTable(4)
+        last = {}
+        for source, shard in moves:
+            epoch = table.pin(source, shard)
+            assert epoch > last.get(source, 0)
+            assert epoch == table.source_epoch(source)
+            last[source] = epoch
+        # the global epoch counts every mutation
+        assert table.epoch == len(moves)
+
+    @settings(max_examples=50, deadline=None)
+    @given(moves=st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.integers(min_value=0, max_value=3)),
+        min_size=1, max_size=30))
+    def test_replica_replay_converges(self, moves):
+        primary = RoutingTable(4)
+        replica = RoutingTable(4)
+        for source, shard in moves:
+            epoch = primary.pin(source, shard)
+            replica.apply_route(source, shard, epoch)
+        assert replica.snapshot() == primary.snapshot()
+
+    def test_apply_route_rejects_stale_epoch(self):
+        table = RoutingTable(2)
+        table.apply_route("s", 1, epoch=3)
+        with pytest.raises(ServiceError):
+            table.apply_route("s", 0, epoch=3)     # replayed twice
+        with pytest.raises(ServiceError):
+            table.apply_route("s", 0, epoch=2)     # out of order
+        table.apply_route("s", 0, epoch=4)
+        assert table.shard_of("s") == 0
+
+    def test_migrate_validates_current_shard(self):
+        table = RoutingTable(3)
+        current = table.shard_of("x")
+        other = (current + 1) % 3
+        with pytest.raises(ServiceError):
+            table.migrate("x", from_shard=other, to_shard=current)
+        with pytest.raises(ServiceError):
+            table.migrate("x", from_shard=current, to_shard=current)
+        epoch = table.migrate("x", from_shard=current, to_shard=other)
+        assert epoch == 1
+        assert table.shard_of("x") == other
+
+    def test_unpin_restores_hash_route(self):
+        table = RoutingTable(4)
+        hashed = table.shard_of("s")
+        table.pin("s", (hashed + 1) % 4)
+        table.unpin("s")
+        assert table.shard_of("s") == hashed
+        assert table.source_epoch("s") == 2
 
 
 class TestRangeCheck:
