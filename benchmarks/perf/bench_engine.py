@@ -15,6 +15,9 @@ history). Three sections:
   bridge + health monitor + tracer) and relayed (every event round-tripped
   through the cross-process manager queue); the disabled path must stay
   within 5% of baseline;
+* ``tuptrace`` — the closed loop with sampled per-tuple lifecycle tracing
+  off, at 1% and at 100%, plus a fidelity gate: the fully-sampled trace
+  mean delay must agree with the monitor's QoS mean within 2%;
 * ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
   (strategies x workloads) run serially vs. via the process pool;
 * ``fleet`` — the 4-shard hotspot service run lockstep vs. as a per-shard
@@ -220,6 +223,75 @@ def bench_obs_overhead(duration: float, repeats: int = 5) -> dict:
         "enabled_overhead_fraction": round(enabled_overhead, 4),
         "relayed_overhead_fraction": round(relayed_overhead, 4),
         "disabled_within_5pct": bool(disabled_overhead <= 0.05),
+    }
+
+
+def bench_tuptrace(duration: float, repeats: int = 5) -> dict:
+    """Cost and fidelity of sampled per-tuple lifecycle tracing.
+
+    Three variants of the closed CTRL loop, rotated best-of-``repeats``
+    like ``bench_obs_overhead``: ``off`` (no tracer — the reference),
+    ``sampled`` (1% of arrivals stamped with TraceContexts) and ``full``
+    (every arrival traced — the worst case). Alongside the wall-clock
+    overheads, the full variant's TailAnalyzer mean must agree with the
+    monitor's QoS mean delay within 2% — the tracer is only worth its
+    cost if the spans it collects are faithful.
+    """
+    from repro.obs.tuptrace import TupleTracer
+
+    cfg = ExperimentConfig(duration=duration)
+    workload = make_workload("web", cfg)
+    tracers = {}
+
+    def off_run():
+        return run_strategy("CTRL", workload, cfg)
+
+    def sampled_run():
+        tracers["sampled"] = TupleTracer(fraction=0.01, seed=42)
+        return run_strategy("CTRL", workload, cfg,
+                            tuple_tracer=tracers["sampled"])
+
+    def full_run():
+        tracers["full"] = TupleTracer(fraction=1.0, seed=42,
+                                      max_finished=1_000_000)
+        return run_strategy("CTRL", workload, cfg,
+                            tuple_tracer=tracers["full"])
+
+    variants = [("off", off_run), ("sampled", sampled_run),
+                ("full", full_run)]
+    best = {name: float("inf") for name, __ in variants}
+    cycles = 0
+    record = None
+    for round_no in range(repeats):
+        rot = round_no % len(variants)
+        order = variants[rot:] + variants[:rot]
+        for name, fn in order:
+            start = time.perf_counter()
+            rec = fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+            cycles = len(rec.periods)
+            if name == "full":
+                record = rec
+
+    cps = {name: cycles / wall for name, wall in best.items()}
+    sampled_overhead = max(0.0, 1.0 - cps["sampled"] / cps["off"])
+    full_overhead = max(0.0, 1.0 - cps["full"] / cps["off"])
+    check = tracers["full"].analyzer().cross_check(record)
+    return {
+        "sim_duration_seconds": duration,
+        "repeats": repeats,
+        "control_cycles": cycles,
+        "off_cycles_per_second": round(cps["off"], 1),
+        "sampled_cycles_per_second": round(cps["sampled"], 1),
+        "full_cycles_per_second": round(cps["full"], 1),
+        "sampled_fraction": 0.01,
+        "sampled_overhead_fraction": round(sampled_overhead, 4),
+        "full_overhead_fraction": round(full_overhead, 4),
+        "full_traced": tracers["full"].sampled,
+        "full_sampled_mean_delay": round(check["sampled_mean"], 4),
+        "monitor_mean_delay": round(check["monitor_mean"], 4),
+        "cross_check_rel_err": round(check["rel_err"], 5),
+        "cross_check_within_2pct": bool(check["ok"]),
     }
 
 
@@ -504,6 +576,9 @@ def main(argv=None) -> int:
     print(f"obs overhead ({loop_duration:.0f}s sim x 4 variants x 5 "
           "repeats)...", flush=True)
     obs = bench_obs_overhead(loop_duration)
+    print(f"tuple tracing ({loop_duration:.0f}s sim x 3 variants x 5 "
+          "repeats)...", flush=True)
+    tuptrace = bench_tuptrace(loop_duration)
     print("grid sweep (9 periods x 5 targets, batch vs scalar)...",
           flush=True)
     grid = bench_grid_sweep(400.0)
@@ -525,6 +600,7 @@ def main(argv=None) -> int:
         },
         "control_loop": loop,
         "obs_overhead": obs,
+        "tuptrace": tuptrace,
         "figure_fanout": fanout,
         "fleet": fleet,
         "migration": migration,
@@ -548,6 +624,12 @@ def main(argv=None) -> int:
         failures.append(
             "disabled observability costs more than 5% of the control "
             f"loop ({obs['disabled_overhead_fraction']:.1%})"
+        )
+    if not tuptrace["cross_check_within_2pct"]:
+        failures.append(
+            "tuptrace tier: fully-sampled trace mean diverged from the "
+            f"monitor's QoS mean by more than 2% "
+            f"(rel err {tuptrace['cross_check_rel_err']:.2%})"
         )
     if not grid["cross_check_within_1pct"]:
         failures.append(

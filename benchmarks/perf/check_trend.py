@@ -11,6 +11,8 @@ metric fails the build:
   tuning grid)
 * ``ingest.tuples_per_second`` (wire frames decoded and stamped by the
   real-time serving front-end over loopback TCP)
+* ``tuptrace.full_cycles_per_second`` (the closed loop with every tuple
+  lifecycle-traced — the worst-case tracing path must not rot)
 
 Two *parallel* speedups — ``figure_fanout.speedup`` (process pool vs
 serial) and ``fleet.speedup`` (per-shard process fleet vs lockstep) —
@@ -54,6 +56,7 @@ METRICS = (
     "control_loop.cycles_per_second",
     "grid_sweep.speedup",
     "ingest.tuples_per_second",
+    "tuptrace.full_cycles_per_second",
 )
 
 #: sections whose ``speedup`` only means anything when the machine has a

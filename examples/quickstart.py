@@ -14,8 +14,17 @@ The run is observable live through :mod:`repro.obs`: set ``REPRO_LOG=debug``
 metrics, rewritten atomically every ``REPRO_PROM_DUMP_INTERVAL`` seconds
 (default 1) *while the run is in flight* — scrape it mid-run, not just at
 exit.
+
+Set ``REPRO_TUPTRACE`` to a sample fraction in (0, 1] to stamp that share
+of arrivals with per-tuple lifecycle spans (repro.obs.tuptrace): the run
+then prints tail-latency percentiles, the queue-wait/service decomposition
+and a cross-check of the sampled mean against the monitor's QoS mean.
+``REPRO_TUPTRACE_OUT=trace.json`` additionally exports the spans as a
+Chrome trace-event file (open in Perfetto / chrome://tracing) plus a
+``.jsonl`` sibling with one trace document per line.
 """
 
+import os
 import random
 
 from repro.core import (
@@ -29,6 +38,7 @@ from repro.core import (
 from repro.dsms import identification_network, make_engine
 from repro.metrics.report import ascii_series
 from repro.obs import configure_logging, get_bus, install_metrics, start_prom_dump
+from repro.obs.tuptrace import TupleTracer
 from repro.workloads import arrivals_from_trace, pareto_rate_trace_with_mean
 
 TARGET_DELAY = 2.0      # seconds — the QoS requirement
@@ -62,6 +72,17 @@ def main() -> None:
     loop = ControlLoop(engine, controller, monitor, actuator,
                        target=TARGET_DELAY, period=1.0)
 
+    # 3b. Optional per-tuple tracing (REPRO_TUPTRACE=0.01 samples 1%).
+    #     max_finished is sized above the whole offered load so the
+    #     analyzer never evicts completions mid-run — eviction would bias
+    #     the sampled mean and break the cross-check below.
+    tracer = None
+    fraction = float(os.environ.get("REPRO_TUPTRACE", "0") or "0")
+    if fraction > 0.0:
+        tracer = TupleTracer(fraction=fraction, seed=42,
+                             max_finished=1_000_000)
+        loop.tuple_tracer = tracer
+
     # 4. A bursty workload: long-tailed per-second rates, mean 1.4x capacity.
     trace = pareto_rate_trace_with_mean(
         int(DURATION), beta=1.0, target_mean=260.0, seed=7
@@ -86,6 +107,35 @@ def main() -> None:
     print(f"maximal overshoot       : {qos.max_overshoot:.2f} s")
     print(f"data shed               : {qos.shed} ({100 * qos.loss_ratio:.1f}% "
           "of offered) — the price of holding the delay target")
+
+    # 6. Tuple-trace tail analysis (only when REPRO_TUPTRACE sampled spans).
+    if tracer is not None:
+        analyzer = tracer.analyzer()
+        pcts = analyzer.percentiles()
+        decomp = analyzer.decompose()
+        check = analyzer.cross_check(record)
+        print(f"\ntuple tracing           : sampled {tracer.sampled} of "
+              f"{tracer.offered} arrivals ({100 * fraction:.1f}% asked)")
+        print(f"  completed / dropped   : {tracer.completed} / {tracer.dropped}")
+        print("  latency percentiles   : " + "  ".join(
+            f"{name}={v:.2f}s" for name, v in sorted(pcts.items())))
+        p99 = decomp.get("p99", {})
+        print(f"  p99 decomposition     : queue-wait "
+              f"{p99.get('queue_wait', 0.0):.2f}s + service "
+              f"{p99.get('service', 0.0):.2f}s + drain "
+              f"{p99.get('drain', 0.0):.2f}s")
+        print(f"  cross-check vs QoS    : sampled mean "
+              f"{check['sampled_mean']:.3f}s vs monitor "
+              f"{check['monitor_mean']:.3f}s "
+              f"(rel err {100 * check['rel_err']:.2f}%, "
+              f"{'OK' if check['ok'] else 'BIASED'})")
+        out = os.environ.get("REPRO_TUPTRACE_OUT", "").strip()
+        if out:
+            n = tracer.export_chrome(out)
+            jsonl = out.rsplit(".", 1)[0] + ".jsonl"
+            m = tracer.export_jsonl(jsonl)
+            print(f"  exported              : {n} traces -> {out} "
+                  f"(Chrome trace events); {m} docs -> {jsonl}")
 
     if dumper is not None:
         dumper.stop()  # one final snapshot so the file holds the full run

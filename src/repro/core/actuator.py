@@ -108,6 +108,7 @@ class InNetworkActuator(Actuator):
         self._alpha = drop_probability(allowed_tuples, expected_inflow)
         self._allowance = max(allowed_tuples, 0.0)
         self._culled_this_period = 0
+        self.shedder.trace_alpha = self._alpha
 
     def admit(self, values: tuple = (), source: str = "") -> bool:
         """Admit the arrival; cull one queued tuple with probability alpha."""

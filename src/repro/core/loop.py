@@ -30,12 +30,14 @@ Two driving styles share the same per-period body:
 from __future__ import annotations
 
 import time as _time
+from contextlib import ExitStack
 from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ExperimentError
 from ..metrics.recorder import PeriodRecord, RunRecord
 from ..obs.bus import get_bus
 from ..obs.events import (
+    CompletionStats,
     DrainTruncated,
     PeriodDecision,
     RunFinished,
@@ -64,7 +66,8 @@ class ControlLoop:
                  drain_max_extra: float = 600.0,
                  charge_cycle_within_period: bool = False,
                  bus=None,
-                 tracer=None):
+                 tracer=None,
+                 tuple_tracer=None):
         if period <= 0:
             raise ExperimentError(f"control period must be positive, got {period}")
         if cycle_cost < 0:
@@ -101,6 +104,9 @@ class ControlLoop:
         #: optional :class:`~repro.obs.tracing.PeriodTracer`; None (the
         #: default) skips every clock read
         self.tracer = tracer
+        #: optional :class:`~repro.obs.tuptrace.TupleTracer` sampling
+        #: per-tuple lifecycle spans; None (the default) skips everything
+        self.tuple_tracer = tuple_tracer
         self._target = target
         self._target_in_force: Optional[float] = None
 
@@ -151,6 +157,7 @@ class ControlLoop:
         # which only exists so *in-network* actuators see live queue state
         bulk = (getattr(self.engine, "prefers_bulk_submit", False)
                 and self.actuator.drops_outside_engine)
+        ttr = self.tuple_tracer
         for t, values, source in arrivals:
             # advance the engine to the arrival instant so in-network
             # actuators cull against the queue state the tuple actually
@@ -158,6 +165,7 @@ class ControlLoop:
             if not bulk and t > self.engine.now:
                 self.engine.run_until(t)
             offered += 1
+            ctx = ttr.on_arrival(t, source) if ttr is not None else None
             if self.actuator.admit(values, source):
                 # the engine may sit slightly past the arrival instant
                 # (it finishes the tuple in service); clamping to its
@@ -165,8 +173,14 @@ class ControlLoop:
                 # accounting stays reserved for genuine clock bugs
                 t_submit = max(t, k * self.period)
                 now = getattr(self.engine, "now", t_submit)
-                self.engine.submit(max(t_submit, now), values, source)
+                if ctx is None:
+                    self.engine.submit(max(t_submit, now), values, source)
+                else:
+                    self.engine.submit(max(t_submit, now), values, source,
+                                       trace=ctx)
                 admitted += 1
+            elif ctx is not None:
+                ttr.on_entry_drop(ctx, t, self.actuator, k)
         if tracer is not None:
             now = _time.perf_counter()
             tracer.add("ingest", now - mark)
@@ -246,6 +260,14 @@ class ControlLoop:
             if shed_retro > 0:
                 bus.emit(ShedAction(k=k, action="retro", count=shed_retro,
                                     alpha=period_record.alpha))
+            if m.departures:
+                # per-period delay samples: feeds the tuple-latency
+                # histogram and the dashboard percentile pane regardless
+                # of whether span sampling is on
+                bus.emit(CompletionStats(
+                    k=k, count=len(m.departures),
+                    shed=sum(1 for d in m.departures if d.shed),
+                    delays=[d.delay for d in m.departures if not d.shed]))
             bus.emit(PeriodDecision(record=period_record))
         self._target_in_force = target
         if tracer is not None:
@@ -260,12 +282,22 @@ class ControlLoop:
             # in-network drops already appear as shed departures
             record.entry_dropped_total = self.actuator.dropped_total
         # let the backlog drain so every delivered tuple's delay is known
-        if self.tracer is not None:
-            with self.tracer.span("drain"):
-                self._drain(record)
-        else:
-            self._drain(record)
+        with ExitStack() as scopes:
+            if self.tracer is not None:
+                scopes.enter_context(self.tracer.span("drain"))
+            if self.tuple_tracer is not None:
+                # service spans recorded during the final drain show up as
+                # "drain" segments in the per-tuple traces
+                scopes.enter_context(self.tuple_tracer.drain_scope("final"))
+            drained = self._drain(record)
         if self.bus:
+            if drained:
+                # the drain's completions never close inside a period, so
+                # emit them here or the latency histogram misses the tail
+                self.bus.emit(CompletionStats(
+                    k=len(record.periods), count=len(drained),
+                    shed=sum(1 for d in drained if d.shed),
+                    delays=[d.delay for d in drained if not d.shed]))
             if record.drain_truncated:
                 self.bus.emit(DrainTruncated(leftover=record.drain_leftover,
                                              time=self.engine.now))
@@ -299,14 +331,14 @@ class ControlLoop:
         return record
 
     def _drain(self, record: RunRecord,
-               max_extra: Optional[float] = None) -> None:
+               max_extra: Optional[float] = None) -> List:
         """Run the engine with no new input until the queue empties.
 
         The drain gives up after ``drain_max_extra`` virtual seconds; when
         that deadline truncates outstanding tuples the record's
         ``drain_truncated``/``drain_leftover`` fields say so (the flush that
         follows still force-completes them, but their timing is no longer a
-        faithful quiescent drain).
+        faithful quiescent drain). Returns the departures it resolved.
         """
         budget = self.drain_max_extra if max_extra is None else max_extra
         deadline = self.engine.now + budget
@@ -317,4 +349,6 @@ class ControlLoop:
             record.drain_truncated = True
             record.drain_leftover = leftover
         self.engine.flush()
-        record.departures.extend(self.engine.drain_departures())
+        drained = self.engine.drain_departures()
+        record.departures.extend(drained)
+        return drained

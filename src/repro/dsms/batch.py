@@ -189,11 +189,12 @@ class BatchFluidEngine:
     # ------------------------------------------------------------------ #
     # interface shared with the other engines
     # ------------------------------------------------------------------ #
-    def submit(self, time: float, values: Tuple = (), source: str = "in") -> None:
+    def submit(self, time: float, values: Tuple = (), source: str = "in",
+               trace=None) -> None:
         """Buffer one arrival; timestamps must be non-decreasing.
 
-        As in the fluid engine, ``values``/``source`` carry no information
-        in the single-FIFO model and are intentionally ignored.
+        As in the fluid engine, ``values``/``source``/``trace`` carry no
+        information in the single-FIFO model and are intentionally ignored.
         """
         if time < self.now:
             self.late_arrivals += 1

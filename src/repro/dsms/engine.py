@@ -106,7 +106,9 @@ class Engine:
             name: OperatorQueue(name) for name in network.operators
         }
         self.scheduler.bind(self.queues)
-        self._pending: Deque[Tuple[float, Tuple, str]] = deque()
+        # (time, values, source, trace) — trace is the sampled TraceContext
+        # or None for the unsampled majority
+        self._pending: Deque[Tuple[float, Tuple, str, object]] = deque()
         self._timed_ops: List[Operator] = [
             op for op in network.operators.values()
             if type(op).on_time is not Operator.on_time
@@ -141,8 +143,14 @@ class Engine:
     # ------------------------------------------------------------------ #
     # input side
     # ------------------------------------------------------------------ #
-    def submit(self, time: float, values: Tuple, source: str) -> None:
-        """Buffer one arrival; timestamps must be non-decreasing."""
+    def submit(self, time: float, values: Tuple, source: str,
+               trace=None) -> None:
+        """Buffer one arrival; timestamps must be non-decreasing.
+
+        ``trace`` is an optional sampled
+        :class:`~repro.obs.tuptrace.TraceContext` to attach to the
+        tuple's lineage at admission.
+        """
         if source not in self.network.sources:
             raise SchedulingError(f"unknown source {source!r}")
         if time < self.now:
@@ -154,7 +162,7 @@ class Engine:
                 f"arrival at t={time} is earlier than a buffered arrival "
                 f"at t={self._pending[-1][0]}; submit in time order"
             )
-        self._pending.append((time, values, source))
+        self._pending.append((time, values, source, trace))
 
     def submit_many(self, arrivals: Sequence[Tuple[float, Tuple, str]]) -> None:
         for time, values, source in arrivals:
@@ -233,11 +241,14 @@ class Engine:
 
     def _ingest_due(self) -> None:
         while self._pending and self._pending[0][0] <= self.now:
-            time, values, source = self._pending.popleft()
-            self._admit(time, values, source)
+            time, values, source, trace = self._pending.popleft()
+            self._admit(time, values, source, trace)
 
-    def _admit(self, time: float, values: Tuple, source: str) -> None:
+    def _admit(self, time: float, values: Tuple, source: str,
+               trace=None) -> None:
         tup = make_source_tuple(values, time, source, self._on_departed)
+        if trace is not None:
+            tup.lineage.trace = trace
         entries = self.network.sources[source]
         if not entries:
             # a source wired to nothing: the tuple departs immediately
@@ -248,6 +259,8 @@ class Engine:
         tup.lineage.fork(len(entries) - 1)
         for op_name, port in entries:
             self.queues[op_name].push(tup, port)
+            if trace is not None:
+                trace.enqueue(op_name, time)
 
     def _dispatch(self, op_name: str) -> None:
         op = self.network.operators[op_name]
@@ -256,7 +269,13 @@ class Engine:
         if self._cost_multiplier is not None:
             cost *= self._cost_multiplier(self.now)
         self.cpu_used += cost
-        self.now += cost / self.headroom
+        trace = tup.lineage.trace
+        if trace is None:
+            self.now += cost / self.headroom
+        else:
+            start = self.now
+            self.now = start + cost / self.headroom
+            trace.service(op_name, start, self.now - start, cost)
         outputs = op.apply(tup, port, self.now)
         op.record(len(outputs))
         # lineage accounting: fork once per output sharing the input lineage,
@@ -281,8 +300,11 @@ class Engine:
                 continue
             if len(successors) > 1:
                 out.lineage.fork(len(successors) - 1)
+            trace = out.lineage.trace
             for succ, succ_port in successors:
                 self.queues[succ].push(out, succ_port)
+                if trace is not None:
+                    trace.enqueue(succ, self.now)
 
     def _fire_timers(self) -> None:
         # hot path: skip the sweep entirely when there are no timed
@@ -324,21 +346,32 @@ class Engine:
     # ------------------------------------------------------------------ #
     # in-network shedding support
     # ------------------------------------------------------------------ #
-    def shed_queue_fraction(self, op_name: str, fraction: float) -> int:
+    def shed_queue_fraction(self, op_name: str, fraction: float,
+                            reason: str = "retro", shedder: str = "",
+                            alpha: float = 0.0) -> int:
         """Drop ~``fraction`` of the tuples queued before ``op_name``."""
         victims = self.queues[op_name].shed_fraction(fraction, self.rng)
-        self._discard(victims)
+        self._discard(victims, op_name, reason, shedder,
+                      alpha if alpha else fraction)
         return len(victims)
 
-    def shed_queue_count(self, op_name: str, count: int) -> int:
+    def shed_queue_count(self, op_name: str, count: int,
+                         reason: str = "retro", shedder: str = "",
+                         alpha: float = 0.0) -> int:
         """Drop up to ``count`` tuples queued before ``op_name``."""
         victims = self.queues[op_name].shed_count(count, self.rng)
-        self._discard(victims)
+        self._discard(victims, op_name, reason, shedder, alpha)
         return len(victims)
 
-    def _discard(self, victims: List[StreamTuple]) -> None:
+    def _discard(self, victims: List[StreamTuple], where: str = "",
+                 reason: str = "retro", shedder: str = "",
+                 alpha: float = 0.0) -> None:
         for tup in victims:
             tup.lineage.shed = True
+            trace = tup.lineage.trace
+            if trace is not None:
+                trace.shed(where, self.now, reason=reason, shedder=shedder,
+                           alpha=alpha)
             tup.lineage.release(self.now)
 
     # ------------------------------------------------------------------ #
@@ -348,4 +381,7 @@ class Engine:
         self.departed_total += 1
         if lineage.shed:
             self.shed_total += 1
+        if lineage.trace is not None:
+            lineage.trace.finish(now, "dropped" if lineage.shed
+                                 else "completed")
         self._departures.append(Departure(lineage.arrived, now, lineage.shed))

@@ -51,13 +51,16 @@ class VirtualQueueEngine:
     # ------------------------------------------------------------------ #
     # interface shared with Engine
     # ------------------------------------------------------------------ #
-    def submit(self, time: float, values: Tuple = (), source: str = "in") -> None:
+    def submit(self, time: float, values: Tuple = (), source: str = "in",
+               trace=None) -> None:
         """Buffer one arrival; timestamps must be non-decreasing.
 
         ``values`` and ``source`` are accepted for interface parity with the
         full engine but carry no information in the fluid model (a single
         virtual FIFO has one implicit source and costs are per-tuple, not
-        per-value); they are intentionally ignored.
+        per-value); they are intentionally ignored, as is a sampled
+        ``trace`` context (the fluid model has no per-tuple lifecycle to
+        record).
         """
         if time < self.now:
             self.late_arrivals += 1

@@ -20,7 +20,8 @@ from typing import Callable, Optional, Tuple
 class Lineage:
     """Book-keeping shared by every tuple derived from one source arrival."""
 
-    __slots__ = ("arrived", "refcount", "shed", "_on_departed", "departed_at")
+    __slots__ = ("arrived", "refcount", "shed", "_on_departed", "departed_at",
+                 "trace")
 
     def __init__(self, arrived: float,
                  on_departed: Optional[Callable[["Lineage", float], None]] = None):
@@ -32,6 +33,9 @@ class Lineage:
         self.shed = False
         #: virtual time at which the last derived tuple left the network
         self.departed_at: Optional[float] = None
+        #: sampled per-tuple trace context (see repro.obs.tuptrace) or None;
+        #: derived tuples share it because they share the lineage
+        self.trace = None
         self._on_departed = on_departed
 
     def fork(self, copies: int) -> None:

@@ -133,7 +133,8 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
                  engine_kind: Optional[str] = None,
                  scheduler: Optional[str] = None,
                  bus=None,
-                 tracer=None) -> RunRecord:
+                 tracer=None,
+                 tuple_tracer=None) -> RunRecord:
     """Run one strategy over one workload; returns the full run record.
 
     ``estimator_factory`` overrides the config's cost estimator (used by
@@ -142,9 +143,9 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
     event), ``"fluid"`` (scalar Eq. 2 FIFO) or ``"batch"`` (vectorized
     fluid spans); ``None`` takes ``config.engine_backend``. The fluid
     backends support only the entry actuator. ``scheduler`` is a spec
-    string for :func:`make_scheduler` (full engine only). ``bus`` and
-    ``tracer`` thread straight into the :class:`ControlLoop` for live
-    observability (see :mod:`repro.obs`).
+    string for :func:`make_scheduler` (full engine only). ``bus``,
+    ``tracer`` and ``tuple_tracer`` thread straight into the
+    :class:`ControlLoop` for live observability (see :mod:`repro.obs`).
     """
     if isinstance(strategy, str):
         try:
@@ -200,6 +201,7 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
         cycle_cost=config.control_overhead,
         bus=bus,
         tracer=tracer,
+        tuple_tracer=tuple_tracer,
     )
     # memoized on disk by workload hash so pool workers materialize each
     # distinct trace once (see repro.workloads.cache)

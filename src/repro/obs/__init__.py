@@ -10,8 +10,13 @@ Four pieces, all opt-in and zero-dependency:
   gauges and histograms with Prometheus text exposition and JSONL
   snapshots; :func:`install_metrics` bridges bus events into it.
 - **Tracing** (:mod:`repro.obs.tracing`): per-period wall-clock spans
-  (engine / monitor / controller / actuator / coordinator) aggregated
-  into a flame summary exported next to the run CSVs.
+  (ingest / engine / monitor / controller / actuator / coordinator)
+  aggregated into a flame summary exported next to the run CSVs.
+- **Tuple tracing** (:mod:`repro.obs.tuptrace`): deterministic sampled
+  per-tuple lifecycle spans — ingest to sink, including the shed
+  decision that killed a tuple — with drop audit, Chrome-trace/JSONL
+  export and tail-latency decomposition cross-checked against the
+  monitor's QoS mean.
 - **Health detectors** (:mod:`repro.obs.health`): online monitors for
   sustained QoS violation, actuator saturation, controller windup, drain
   truncation and shard imbalance, surfaced as structured reports.
@@ -49,6 +54,7 @@ from .events import (
     EVENT_KINDS,
     AlphaCapped,
     BackendSelected,
+    CompletionStats,
     DrainTruncated,
     HeadroomChanged,
     IngestStats,
@@ -60,6 +66,7 @@ from .events import (
     ShardRebalanced,
     ShedAction,
     TargetChanged,
+    TupleTraceCompleted,
     WorkerDown,
     WorkerRestarted,
     event_to_dict,
@@ -85,6 +92,15 @@ from .relay import CommandChannel, EventRelay, relay_forwarder, worker_relay
 from .serve import ObsServer
 from .sinks import PeriodJsonlSink
 from .tracing import SEGMENTS, PeriodTracer, merge_flames
+from .tuptrace import (
+    TailAnalyzer,
+    TraceCollector,
+    TraceContext,
+    TupleTracer,
+    drop_audit,
+    traces_to_chrome,
+    traces_to_jsonl,
+)
 
 __all__ = [
     # bus
@@ -94,7 +110,7 @@ __all__ = [
     "ObsEvent", "EVENT_KINDS", "RunStarted", "PeriodDecision", "ShedAction",
     "LateArrival", "DrainTruncated", "TargetChanged", "HeadroomChanged",
     "AlphaCapped", "ShardRebalanced", "BackendSelected", "IngestStats",
-    "RunFinished",
+    "RunFinished", "CompletionStats", "TupleTraceCompleted",
     "WorkerDown", "WorkerRestarted",
     "event_to_dict",
     # metrics
@@ -107,6 +123,9 @@ __all__ = [
     "CommandChannel",
     # tracing
     "PeriodTracer", "SEGMENTS", "merge_flames",
+    # tuple tracing
+    "TupleTracer", "TraceContext", "TraceCollector", "TailAnalyzer",
+    "drop_audit", "traces_to_jsonl", "traces_to_chrome",
     # health
     "HealthMonitor", "HealthReport", "HEALTH_KINDS",
     # logging

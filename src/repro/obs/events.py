@@ -188,6 +188,41 @@ class IngestStats(ObsEvent):
 
 
 @dataclass
+class CompletionStats(ObsEvent):
+    """One control period's resolved departures (delay samples).
+
+    Emitted at every period close from the Monitor's departure list —
+    independent of tuple-trace sampling — so the metrics bridge can feed a
+    latency histogram and the dashboard a percentile pane even with span
+    tracing off. ``delays`` holds the non-shed (completed) delays only;
+    ``shed`` counts the departures lost to in-network shedding.
+    """
+
+    kind: ClassVar[str] = "completions"
+    k: int = 0
+    count: int = 0
+    shed: int = 0
+    delays: list = field(default_factory=list)
+    shard: Optional[str] = None
+
+
+@dataclass
+class TupleTraceCompleted(ObsEvent):
+    """A sampled tuple finished its lifecycle (completed or dropped).
+
+    ``trace`` is the plain-dict trace record built by
+    :class:`~repro.obs.tuptrace.TupleTracer` — deliberately a dict, not a
+    dataclass, so it pickles across the fleet relay unchanged and lands in
+    a parent-side :class:`~repro.obs.tuptrace.TraceCollector` with worker
+    provenance.
+    """
+
+    kind: ClassVar[str] = "tuple_trace"
+    trace: dict = field(default_factory=dict)
+    shard: Optional[str] = None
+
+
+@dataclass
 class WorkerDown(ObsEvent):
     """A fleet shard's worker process died before finishing its run.
 
@@ -303,7 +338,8 @@ EVENT_KINDS = tuple(
     cls.kind for cls in (
         RunStarted, PeriodDecision, ShedAction, LateArrival, DrainTruncated,
         TargetChanged, HeadroomChanged, AlphaCapped, ShardRebalanced,
-        BackendSelected, IngestStats, RunFinished, WorkerDown,
-        WorkerRestarted, RouteChanged, MigrationStarted, MigrationCompleted,
+        BackendSelected, IngestStats, RunFinished, CompletionStats,
+        TupleTraceCompleted, WorkerDown, WorkerRestarted, RouteChanged,
+        MigrationStarted, MigrationCompleted,
     )
 )

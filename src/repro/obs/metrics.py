@@ -600,6 +600,9 @@ class MetricsBridge:
         self.migration_drain = r.histogram(
             f"{p}_migration_drain_seconds",
             "virtual seconds spent draining the old shard per migration")
+        self.tuple_latency = r.histogram(
+            f"{p}_tuple_latency_seconds",
+            "per-tuple end-to-end delay of completed (non-shed) tuples")
         self._handlers = {
             "period": self._on_period,
             "shed": self._on_shed,
@@ -612,6 +615,7 @@ class MetricsBridge:
             "worker_restarted": self._on_worker_restarted,
             "route_changed": self._on_route_changed,
             "migration_completed": self._on_migration_completed,
+            "completions": self._on_completions,
         }
         self.bus.subscribe(self._on_event, kinds=self._handlers.keys())
 
@@ -690,6 +694,13 @@ class MetricsBridge:
 
     def _on_migration_completed(self, event, shard: str) -> None:
         self.migration_drain.observe(event.virtual_seconds, shard=shard)
+
+    def _on_completions(self, event, shard: str) -> None:
+        # per-departure delay samples, independent of span sampling: the
+        # tail-latency histogram is always populated on /metrics
+        observe = self.tuple_latency.observe
+        for delay in event.delays:
+            observe(delay, shard=shard)
 
     # ------------------------------------------------------------------ #
     # derived views

@@ -13,7 +13,9 @@ path       serves
 ``/health``   :meth:`HealthMonitor.summary` JSON (online detectors)
 ``/status``   JSON snapshot: latest per-shard period, headroom split,
               event counts, plus the service's own ``status_fn`` view
-``/events``   Server-Sent Events live stream of every bus event
+``/events``   Server-Sent Events live stream of bus events; defaults to
+              every kind except the firehose ``tuple_trace`` spans
+              (``?kinds=a,b`` narrows or opts in)
 ========== ==========================================================
 
 Every SSE client gets its own :class:`~repro.obs.bus.BoundedSubscription`
@@ -34,10 +36,11 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
 
 from ..errors import ObservabilityError
 from .bus import BoundedSubscription, EventBus, get_bus
-from .events import ObsEvent, event_to_dict
+from .events import EVENT_KINDS, ObsEvent, event_to_dict
 from .health import HealthMonitor
 from .logconf import get_logger
 from .metrics import MetricsRegistry, get_registry
@@ -227,10 +230,20 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # SSE
     # ------------------------------------------------------------------ #
+    #: kinds an SSE client receives without an explicit ``?kinds=`` ask.
+    #: ``tuple_trace`` is excluded on purpose: at high sample fractions the
+    #: per-tuple span stream can outrun a browser tab's ring buffer and
+    #: evict the period frames the dashboard lives on. Opt in with
+    #: ``/events?kinds=tuple_trace`` (or a comma list including it).
+    SSE_DEFAULT_KINDS = frozenset(EVENT_KINDS) - {"tuple_trace"}
+
     def _serve_sse(self) -> None:
         obs = self.obs
+        raw = parse_qs(urlparse(self.path).query).get("kinds", [""])[0]
+        wanted = frozenset(k.strip() for k in raw.split(",") if k.strip())
         sub = BoundedSubscription(
-            obs.bus, maxlen=obs.sse_maxlen, policy="drop_oldest",
+            obs.bus, kinds=wanted or self.SSE_DEFAULT_KINDS,
+            maxlen=obs.sse_maxlen, policy="drop_oldest",
             name=f"sse:{self.client_address[0]}:{self.client_address[1]}")
         obs.sse_clients += 1
         self.send_response(200)
@@ -353,6 +366,9 @@ DASHBOARD_HTML = """<!doctype html>
     <figure><figcaption>ingest rate (offered tuples/s, live serving)
       <span class="readout" id="r-ingest"></span></figcaption>
       <svg id="c-ingest"></svg></figure>
+    <figure><figcaption>completed-tuple delay p50 / p95 / p99 (s)
+      <span class="readout" id="r-tail"></span></figcaption>
+      <svg id="c-tail"></svg></figure>
   </div>
 </div>
 <script>
@@ -402,12 +418,38 @@ function onPeriod(rec, shard) {
   dirty = true;
 }
 
+// tail-latency pane: delays arrive per period in "completions" events; a
+// sliding reservoir of the most recent completions feeds running
+// percentiles, plotted as their own three fixed-slot series
+const tail = new Map();                 // "p50"|"p95"|"p99" -> {slot, points}
+const tailWindow = [];                  // recent completed-tuple delays
+const TAIL_WINDOW = 4096;
+function percentile(sorted, q) {        // nearest-rank on a sorted array
+  const i = Math.ceil(q * sorted.length) - 1;
+  return sorted[Math.min(sorted.length - 1, Math.max(0, i))];
+}
+function onCompletions(doc) {
+  for (const d of doc.delays || []) tailWindow.push(d);
+  if (!tailWindow.length) return;
+  if (tailWindow.length > TAIL_WINDOW)
+    tailWindow.splice(0, tailWindow.length - TAIL_WINDOW);
+  const sorted = [...tailWindow].sort((a, b) => a - b);
+  [["p50", 0.50], ["p95", 0.95], ["p99", 0.99]].forEach(([name, q], i) => {
+    let s = tail.get(name);
+    if (!s) { s = { slot: i, points: [] }; tail.set(name, s); }
+    s.points.push({ k: doc.k, tail: percentile(sorted, q) });
+    if (s.points.length > KEEP) s.points.shift();
+  });
+  dirty = true;
+}
+
 const CHARTS = [
   { svg: "c-delay", readout: "r-delay", field: "delay", ref: () => lastTarget },
   { svg: "c-queue", readout: "r-queue", field: "queue" },
   { svg: "c-alpha", readout: "r-alpha", field: "alpha", min: 0, max: 1 },
   { svg: "c-headroom", readout: "r-headroom", field: "headroom", min: 0 },
   { svg: "c-ingest", readout: "r-ingest", field: "ingest", min: 0 },
+  { svg: "c-tail", readout: "r-tail", field: "tail", min: 0, source: tail },
 ];
 const PAD = { l: 40, r: 8, t: 8, b: 18 };
 
@@ -421,8 +463,9 @@ function drawChart(chart) {
   const svg = document.getElementById(chart.svg);
   const W = svg.clientWidth || 360, H = svg.clientHeight || 180;
   svg.setAttribute("viewBox", "0 0 " + W + " " + H);
+  const src = chart.source || shards;   // default charts plot per-shard
   let k0 = Infinity, k1 = -Infinity, v0 = Infinity, v1 = -Infinity;
-  for (const [, s] of shards) for (const p of s.points) {
+  for (const [, s] of src) for (const p of s.points) {
     const v = p[chart.field];
     if (v == null || !isFinite(v)) continue;
     k0 = Math.min(k0, p.k); k1 = Math.max(k1, p.k);
@@ -459,7 +502,7 @@ function drawChart(chart) {
            '<text class="annolabel" x="' + (+xx + 3) + '" y="' +
            (PAD.t + 9) + '">' + a.label + "</text>";
   }
-  for (const [, s] of shards) {
+  for (const [, s] of src) {
     const pts = s.points
       .filter(p => p[chart.field] != null && isFinite(p[chart.field]))
       .map(p => x(p.k).toFixed(1) + "," + y(p[chart.field]).toFixed(1))
@@ -473,7 +516,7 @@ function drawChart(chart) {
     const k = Math.round(k0 + (ev.clientX - rect.left - PAD.l) /
                          (W - PAD.l - PAD.r) * (k1 - k0));
     const parts = [];
-    for (const [name, s] of shards) {
+    for (const [name, s] of src) {
       const p = s.points.find(q => q.k === k);
       if (p && p[chart.field] != null) parts.push(name + " " + fmt(p[chart.field]));
     }
@@ -513,6 +556,9 @@ es.addEventListener("headroom_changed", ev => {
 es.addEventListener("ingest", ev => {
   const doc = JSON.parse(ev.data);
   ingest.set(doc.shard || "main", doc.rate);
+});
+es.addEventListener("completions", ev => {
+  onCompletions(JSON.parse(ev.data));
 });
 es.addEventListener("route_changed", ev => {
   const doc = JSON.parse(ev.data);

@@ -64,6 +64,10 @@ class IngestBuffer:
         self._items: List[Arrival] = []
         self.accepted = 0
         self.dropped = 0
+        #: optional repro.obs.tuptrace.TupleTracer — front-door drops then
+        #: leave a sampled "buffer_full" shed span so drop_audit can explain
+        #: tuples that never reached the control loop
+        self.tuple_tracer = None
 
     def push(self, values: Tuple, source: str) -> bool:
         """Stamp ``values`` with the clock's *now* and buffer it.
@@ -73,6 +77,9 @@ class IngestBuffer:
         with self._lock:
             if len(self._items) >= self.maxlen:
                 self.dropped += 1
+                ttr = self.tuple_tracer
+                if ttr is not None:
+                    ttr.on_ingest_drop(self.clock.now(), source)
                 return False
             self._items.append((self.clock.now(), values, source))
             self.accepted += 1

@@ -100,6 +100,8 @@ class LiveRunner:
                                         bus=self.loop.bus,
                                         status_fn=self.status).start()
         self.ingest.start()
+        # front-door drops show up in the sampled tuple traces too
+        self.buffer.tuple_tracer = self.loop.tuple_tracer
         # the monitor stamps measurements with wall time from here on
         self.loop.monitor.clock = self.clock
         self.record = self.loop.begin()
@@ -183,7 +185,16 @@ class LiveRunner:
             if clock.now() < boundary:
                 break  # stop fired mid-period; k never closed
             self._jitter = max(late, 0.0)
-            due = buffer.drain_until(boundary)
+            tracer = loop.tracer
+            if tracer is not None:
+                # the buffer drain happens before run_period opens the
+                # period; PeriodTracer.add charges it to the run totals so
+                # live flame summaries still account for ingest time
+                mark = _time.perf_counter()
+                due = buffer.drain_until(boundary)
+                tracer.add("ingest", _time.perf_counter() - mark)
+            else:
+                due = buffer.drain_until(boundary)
             snap = self.ingest.snapshot()
             bus = loop.bus
             if bus:
@@ -339,6 +350,9 @@ class LiveService:
             self.obs_server = ObsServer(port=self.serve_port, bus=self.bus,
                                         status_fn=self.status).start()
         self.ingest.start()
+        # buffer-full drops happen before routing, so charge them to shard
+        # 0's tracer (mirrors the service-wide "ingest" timing convention)
+        self.buffer.tuple_tracer = self.shards[0].loop.tuple_tracer
         self._wall_start = _time.perf_counter()
         for shard in self.shards:
             shard.loop.monitor.clock = self.clock
@@ -410,7 +424,15 @@ class LiveService:
             if clock.now() < boundary:
                 break  # stop fired mid-period; k never closed
             self._jitter = max(late, 0.0)
-            due = buffer.drain_until(boundary)
+            tracer = self.shards[0].loop.tracer
+            if tracer is not None:
+                # service-wide ingest work, charged once (to shard 0's
+                # tracer) so merge_flames never double-counts the drain
+                mark = _time.perf_counter()
+                due = buffer.drain_until(boundary)
+                tracer.add("ingest", _time.perf_counter() - mark)
+            else:
+                due = buffer.drain_until(boundary)
             snap = self.ingest.snapshot()
             if self.bus:
                 self.bus.emit(IngestStats(

@@ -59,6 +59,9 @@ class ServiceConfig:
     # wall-clock tracing alongside the fleet
     health: bool = False
     trace: bool = False
+    #: sampled per-tuple lifecycle tracing (repro.obs.tuptrace): fraction
+    #: of source arrivals stamped with a TraceContext, 0.0 = off
+    tuptrace: float = 0.0
     #: serve live /metrics, /health, /status, /events and the dashboard
     #: over HTTP for the duration of the run (repro.obs.serve.ObsServer)
     serve: bool = False
@@ -110,6 +113,11 @@ class ServiceConfig:
         if self.max_migrations is not None and self.max_migrations < 0:
             raise ServiceError(
                 f"max_migrations must be >= 0, got {self.max_migrations}"
+            )
+        if not 0.0 <= self.tuptrace <= 1.0:
+            raise ServiceError(
+                f"tuptrace sample fraction must be in [0, 1], "
+                f"got {self.tuptrace}"
             )
         if self.migration and self.mode != "headroom":
             raise ServiceError(

@@ -69,6 +69,7 @@ from ..obs.bus import EventBus, get_bus
 from ..obs.events import RouteChanged, WorkerDown, WorkerRestarted
 from ..obs.health import HealthMonitor
 from ..obs.relay import CommandChannel, EventRelay, worker_relay
+from ..obs.tuptrace import TupleTracer
 from .config import FleetConfig, ServiceConfig
 from .coordinator import HeadroomCoordinator, MigrationPolicy
 from .router import RoutingTable, make_router
@@ -222,6 +223,13 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
         scoped = bus.scoped(name)
         shard.loop.bus = scoped
         shard.engine.bus = scoped
+        if svc.tuptrace > 0.0:
+            # same seeds as the lockstep service's shard tracers; traces
+            # emitted during silent replay die on the then-subscriber-less
+            # bus, so the parent never sees a replayed period's tuple twice
+            shard.loop.tuple_tracer = TupleTracer(
+                fraction=svc.tuptrace, seed=104729 * (index + 1),
+                bus=scoped, shard=name)
         period = shard.loop.period
         patience = svc.worker_patience
         # the replica: journalled/downlinked route ops keep it in sync

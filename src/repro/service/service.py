@@ -34,6 +34,7 @@ from ..obs.bus import get_bus
 from ..obs.events import RouteChanged
 from ..obs.health import HealthMonitor
 from ..obs.tracing import PeriodTracer, merge_flames
+from ..obs.tuptrace import TailAnalyzer, TupleTracer
 from .config import ServiceConfig
 from .coordinator import HeadroomCoordinator, MigrationPolicy
 from .router import RoutingTable, StreamRouter, make_router
@@ -136,6 +137,10 @@ class ServiceResult:
     #: merged :func:`~repro.obs.tracing.merge_flames` summary, when the
     #: service ran with ``trace=True``; None otherwise
     trace_summary: Optional[dict] = None
+    #: per-tuple tail-latency summary (percentiles + segment decomposition
+    #: per shard), when the service ran with ``tuptrace > 0``; None
+    #: otherwise
+    tail_summary: Optional[dict] = None
 
     @property
     def aggregate(self) -> RunRecord:
@@ -186,6 +191,7 @@ class StreamService:
     def __init__(self, shards: Sequence[EngineShard], router: StreamRouter,
                  coordinator: HeadroomCoordinator,
                  bus=None, health: bool = False, trace: bool = False,
+                 tuptrace: float = 0.0,
                  serve: bool = False, serve_port: Optional[int] = None):
         if not shards:
             raise ServiceError("a service needs at least one shard")
@@ -214,16 +220,23 @@ class StreamService:
         self.bus = bus if bus is not None else get_bus()
         self.health = health
         self.trace = trace
+        self.tuptrace = float(tuptrace)
         self.serve = serve
         self.serve_port = serve_port
         #: the live ObsServer while a served run is in flight; None otherwise
         self.obs_server = None
         self._k = -1          # last closed period, for the /status view
         self._running = False
-        for shard in self.shards:
+        for i, shard in enumerate(self.shards):
             scoped = self.bus.scoped(shard.name)
             shard.loop.bus = scoped
             shard.engine.bus = scoped
+            if self.tuptrace > 0.0:
+                # distinct seeds so shards sample distinct (but each
+                # reproducible) tuple sets; traces emit on the scoped bus
+                shard.loop.tuple_tracer = TupleTracer(
+                    fraction=self.tuptrace, seed=104729 * (i + 1),
+                    bus=scoped, shard=shard.name)
         self.coordinator.bus = self.bus
 
     def status(self) -> dict:
@@ -325,6 +338,21 @@ class StreamService:
                       for shard in self.shards}
             flames["service"] = svc_tracer.flame()
             trace_summary = merge_flames(flames, wall_seconds=wall)
+        tail_summary = None
+        if self.tuptrace > 0.0:
+            tail_summary = {}
+            for shard in self.shards:
+                ttr = shard.loop.tuple_tracer
+                if ttr is None:
+                    continue
+                analyzer = ttr.analyzer()
+                tail_summary[shard.name] = {
+                    "sampled": ttr.sampled,
+                    "completed": ttr.completed,
+                    "dropped": ttr.dropped,
+                    "percentiles": analyzer.percentiles(),
+                    "decomposition": analyzer.decompose(),
+                }
         return ServiceResult(
             mode=self.coordinator.mode,
             base_target=base_target,
@@ -334,6 +362,7 @@ class StreamService:
             wall_seconds=wall,
             health=health_summary,
             trace_summary=trace_summary,
+            tail_summary=tail_summary,
         )
 
 
@@ -376,4 +405,5 @@ def build_service(config: "ExperimentConfig",
     )
     return StreamService(shards, router, coordinator,
                          health=svc.health, trace=svc.trace,
+                         tuptrace=svc.tuptrace,
                          serve=svc.serve, serve_port=svc.serve_port)

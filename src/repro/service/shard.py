@@ -197,8 +197,16 @@ class EngineShard:
         departed0 = engine.departed_total
         deadline = start_now + float(budget)
         chunk = max(float(budget) / 16.0, 1e-6)
-        while engine.outstanding > 0 and engine.now < deadline:
-            engine.run_until(min(engine.now + chunk, deadline))
+        ttr = self.loop.tuple_tracer
+        if ttr is not None:
+            # sampled tuples executed during this drain record the hop as
+            # "drain" spans labelled with the migrating source
+            with ttr.drain_scope(f"migrate:{source}"):
+                while engine.outstanding > 0 and engine.now < deadline:
+                    engine.run_until(min(engine.now + chunk, deadline))
+        else:
+            while engine.outstanding > 0 and engine.now < deadline:
+                engine.run_until(min(engine.now + chunk, deadline))
         leftover = engine.outstanding
         report = DrainReport(
             source=source,

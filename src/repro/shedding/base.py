@@ -33,6 +33,10 @@ class LoadShedder(abc.ABC):
         self.dropped_total = 0
         #: tuples offered to the shedder so far (entry shedders only)
         self.offered_total = 0
+        #: drop probability in force, stamped by the owning actuator each
+        #: period so per-tuple shed traces can record it (observability
+        #: only — never read by the shedding logic itself)
+        self.trace_alpha = 0.0
 
     @abc.abstractmethod
     def set_allowance(self, tuples_allowed: float, expected_inflow: float) -> None:

@@ -117,7 +117,9 @@ class LsrmShedder(LoadShedder):
         multiplier = self.engine.cost_multiplier(self.engine.now)
         gains = {loc.operator: loc.gain for loc in self.roadmap.locations}
         for op_name, count in plan.drops.items():
-            got = self.engine.shed_queue_count(op_name, count)
+            got = self.engine.shed_queue_count(
+                op_name, count, reason="load", shedder=type(self).__name__,
+                alpha=self.trace_alpha)
             self.dropped_total += got
             saved += gains[op_name] * multiplier * got
         self.load_shed_total += saved
@@ -136,7 +138,9 @@ class LsrmShedder(LoadShedder):
             available = len(self.engine.queues[loc.operator])
             take = min(count - shed, available)
             if take > 0:
-                got = self.engine.shed_queue_count(loc.operator, take)
+                got = self.engine.shed_queue_count(
+                    loc.operator, take, reason="cull",
+                    shedder=type(self).__name__, alpha=self.trace_alpha)
                 shed += got
                 self.dropped_total += got
         return shed

@@ -59,7 +59,9 @@ class QueueShedder(LoadShedder):
             name = self._random_location()
             if name is None:
                 break
-            dropped = self.engine.shed_queue_count(name, 1)
+            dropped = self.engine.shed_queue_count(
+                name, 1, reason="load", shedder=type(self).__name__,
+                alpha=self.trace_alpha)
             if dropped == 0:
                 continue
             self.dropped_total += dropped
@@ -90,7 +92,9 @@ class QueueShedder(LoadShedder):
             name = self._random_location()
             if name is None:
                 break
-            got = self.engine.shed_queue_count(name, 1)
+            got = self.engine.shed_queue_count(
+                name, 1, reason="cull", shedder=type(self).__name__,
+                alpha=self.trace_alpha)
             shed += got
             self.dropped_total += got
         return shed

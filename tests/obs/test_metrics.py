@@ -18,6 +18,7 @@ from repro.obs import (
     start_prom_dump,
 )
 from repro.obs.events import (
+    CompletionStats,
     DrainTruncated,
     HeadroomChanged,
     IngestStats,
@@ -166,6 +167,28 @@ class TestMetricsBridge:
         bus.scoped("s1").emit(PeriodDecision(record=period()))
         assert bridge.periods.value(shard="s1") == 1
         assert bridge.periods.value(shard="main") == 0
+
+    def test_completions_feed_tuple_latency_histogram(self):
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        bus.emit(CompletionStats(k=0, count=3, shed=1, delays=[0.5, 1.5]))
+        bus.scoped("s1").emit(CompletionStats(k=0, count=1, shed=0,
+                                              delays=[2.5]))
+        assert bridge.tuple_latency.count(shard="main") == 2
+        assert bridge.tuple_latency.count(shard="s1") == 1
+
+    def test_tuple_latency_populates_without_span_sampling(self):
+        """CompletionStats flows from the loop's completion accounting, so
+        the latency histogram fills even with the tuple tracer off."""
+        from repro.experiments import ExperimentConfig, make_workload, run_strategy
+
+        bus = EventBus()
+        bridge = install_metrics(bus, MetricsRegistry())
+        cfg = ExperimentConfig(duration=20.0)
+        record = run_strategy("CTRL", make_workload("web", cfg), cfg, bus=bus)
+        delivered = record.qos(within_window=False).delivered
+        assert delivered > 0
+        assert bridge.tuple_latency.count(shard="main") == delivered
 
     def test_other_events(self):
         bus = EventBus()

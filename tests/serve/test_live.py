@@ -156,6 +156,36 @@ def test_live_runner_manual_clock_periods():
     assert len(record.periods) == 3
 
 
+def test_live_ticker_charges_ingest_segment():
+    """The buffer drain before each period lands in the flame's "ingest"
+    segment, so live-mode coverage accounts for socket-side work too."""
+    from repro.obs.tracing import PeriodTracer
+    from repro.service.shard import build_shard
+    config = ExperimentConfig(capacity=CAPACITY, period=1.0, target=TARGET)
+    clock = ManualClock()
+    shard = build_shard("flame", config, headroom=config.headroom,
+                        target=TARGET, backend="fluid")
+    shard.loop.tracer = PeriodTracer()
+    runner = LiveRunner(shard.loop, entry_source=shard.entry_source,
+                        clock=clock, max_periods=2)
+    runner.start()
+    try:
+        clock.advance(0.5)
+        for i in range(50):
+            runner.buffer.push((i,), "x")
+        clock.advance(0.6)
+        assert _eventually(lambda: runner.status()["periods_done"] == 1)
+        clock.advance(1.0)
+        assert runner.wait(timeout=10)
+    finally:
+        runner.stop()
+    flame = shard.loop.tracer.flame()
+    assert flame["segments"].get("ingest", 0.0) > 0.0
+    # the drain runs outside the period span, so it must show up in the
+    # run totals even though no period row carries it
+    assert shard.loop.tracer.segments["ingest"] > 0.0
+
+
 def _eventually(predicate, timeout=10.0):
     import time
     deadline = time.monotonic() + timeout
