@@ -18,6 +18,11 @@ history). Three sections:
 * ``tuptrace`` — the closed loop with sampled per-tuple lifecycle tracing
   off, at 1% and at 100%, plus a fidelity gate: the fully-sampled trace
   mean delay must agree with the monitor's QoS mean within 2%;
+* ``sysid`` — the closed loop with the full control-health stack armed
+  (online system identification + health monitor + flight recorder)
+  against the silent path: the armed overhead must stay within 5%, and
+  the identified plant gain must land within 10% of the design model on
+  a matched plant (gain ratio K ~ 1);
 * ``figure_fanout`` — wall-clock for the multi-strategy Fig. 12 job matrix
   (strategies x workloads) run serially vs. via the process pool;
 * ``fleet`` — the 4-shard hotspot service run lockstep vs. as a per-shard
@@ -292,6 +297,86 @@ def bench_tuptrace(duration: float, repeats: int = 5) -> dict:
         "monitor_mean_delay": round(check["monitor_mean"], 4),
         "cross_check_rel_err": round(check["rel_err"], 5),
         "cross_check_within_2pct": bool(check["ok"]),
+    }
+
+
+def bench_sysid(duration: float, repeats: int = 5) -> dict:
+    """Cost and fidelity of the control-health diagnostics layer.
+
+    Two variants of the closed CTRL loop under a constant overload
+    (rotated best-of-``repeats`` like ``bench_obs_overhead``): ``off``
+    (default silent bus) and ``armed`` (online system identification +
+    health monitor + flight recorder all subscribed — the full
+    control-health stack a production run would carry). Two gates ride
+    on the armed run: its overhead must stay within 5% of the off path,
+    and the identified plant gain must land within 10% of the design
+    model's — the workload is sized so the queue stays busy and the
+    cost model is exact, i.e. the identified ratio K should be ~1.
+    """
+    import tempfile
+
+    from repro.obs import (
+        EventBus,
+        FlightRecorder,
+        HealthMonitor,
+        SysIdMonitor,
+    )
+    from repro.workloads import constant_rate
+
+    cfg = ExperimentConfig(duration=duration)
+    workload = constant_rate(250.0, int(duration))
+    state = {}
+
+    def off_run():
+        return run_strategy("CTRL", workload, cfg)
+
+    def armed_run():
+        bus = EventBus()
+        mon = SysIdMonitor(bus)
+        with tempfile.TemporaryDirectory() as tmp:
+            rec = FlightRecorder(bus, ring=256, directory=tmp)
+            hm = rec.watch(HealthMonitor(bus))
+            try:
+                return run_strategy("CTRL", workload, cfg, bus=bus)
+            finally:
+                state["summary"] = mon.summary()["main"]
+                state["incidents"] = len(rec.incidents)
+                hm.close()
+                mon.close()
+                rec.close()
+
+    variants = [("off", off_run), ("armed", armed_run)]
+    best = {name: float("inf") for name, __ in variants}
+    cycles = 0
+    for round_no in range(repeats):
+        rot = round_no % len(variants)
+        order = variants[rot:] + variants[:rot]
+        for name, fn in order:
+            start = time.perf_counter()
+            record = fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+            cycles = len(record.periods)
+
+    cps = {name: cycles / wall for name, wall in best.items()}
+    armed_overhead = max(0.0, 1.0 - cps["armed"] / cps["off"])
+    st = state["summary"]
+    gain_rel_err = abs(st["gain_ratio"] - 1.0)
+    return {
+        "sim_duration_seconds": duration,
+        "repeats": repeats,
+        "control_cycles": cycles,
+        "off_cycles_per_second": round(cps["off"], 1),
+        "armed_cycles_per_second": round(cps["armed"], 1),
+        "armed_overhead_fraction": round(armed_overhead, 4),
+        "armed_within_5pct": bool(armed_overhead <= 0.05),
+        "identified_gain": round(st["identified_gain"], 6),
+        "design_gain": round(st["design_gain"], 6),
+        "gain_ratio": round(st["gain_ratio"], 4),
+        "gain_rel_err": round(gain_rel_err, 4),
+        "gain_within_10pct": bool(st["converged"] and gain_rel_err <= 0.10),
+        "sysid_samples": st["samples"],
+        "sysid_excluded": st["excluded"],
+        "incident_bundles": state["incidents"],
     }
 
 
@@ -579,6 +664,9 @@ def main(argv=None) -> int:
     print(f"tuple tracing ({loop_duration:.0f}s sim x 3 variants x 5 "
           "repeats)...", flush=True)
     tuptrace = bench_tuptrace(loop_duration)
+    print(f"control health ({loop_duration:.0f}s sim x 2 variants x 5 "
+          "repeats)...", flush=True)
+    sysid = bench_sysid(loop_duration)
     print("grid sweep (9 periods x 5 targets, batch vs scalar)...",
           flush=True)
     grid = bench_grid_sweep(400.0)
@@ -601,6 +689,7 @@ def main(argv=None) -> int:
         "control_loop": loop,
         "obs_overhead": obs,
         "tuptrace": tuptrace,
+        "sysid": sysid,
         "figure_fanout": fanout,
         "fleet": fleet,
         "migration": migration,
@@ -630,6 +719,18 @@ def main(argv=None) -> int:
             "tuptrace tier: fully-sampled trace mean diverged from the "
             f"monitor's QoS mean by more than 2% "
             f"(rel err {tuptrace['cross_check_rel_err']:.2%})"
+        )
+    if not sysid["armed_within_5pct"]:
+        failures.append(
+            "sysid tier: the armed control-health stack costs more than "
+            f"5% of the control loop "
+            f"({sysid['armed_overhead_fraction']:.1%})"
+        )
+    if not sysid["gain_within_10pct"]:
+        failures.append(
+            "sysid tier: the online-identified plant gain landed more "
+            "than 10% from the design model on a matched plant "
+            f"(ratio {sysid['gain_ratio']})"
         )
     if not grid["cross_check_within_1pct"]:
         failures.append(

@@ -32,10 +32,17 @@ regressions (an accidentally quadratic hot path), not 5% jitter. Update
 the committed baseline in the same PR whenever the numbers legitimately
 move.
 
-One absolute check rides along: the fresh report's
-``obs_overhead.disabled_overhead_fraction`` must stay at or below 5% —
-the observability layer is contractually free when nobody subscribes.
-(Skipped with a note if the fresh report predates the obs section.)
+Absolute checks ride along on the fresh report (each skipped with a note
+when the report predates its section):
+
+* ``obs_overhead.disabled_overhead_fraction`` must stay at or below 5% —
+  the observability layer is contractually free when nobody subscribes;
+* ``sysid.armed_overhead_fraction`` must stay at or below 5% — the full
+  control-health stack (system identification + health monitor + flight
+  recorder) rides the same bus and must stay near-free;
+* ``sysid.gain_within_10pct`` must hold — on a matched plant the
+  online-identified gain lands within 10% of the design model, or the
+  estimator has rotted.
 
 Usage::
 
@@ -164,6 +171,28 @@ def main(argv=None) -> int:
             failures.append(
                 f"disabled observability overhead {overhead:.1%} "
                 "exceeds the 5% budget"
+            )
+
+    sysid = fresh.get("sysid")
+    if sysid is None:
+        print("sysid: section missing from fresh report, skipping")
+    else:
+        overhead = float(sysid["armed_overhead_fraction"])
+        status = "OK" if overhead <= 0.05 else "REGRESSION"
+        print(f"sysid.armed_overhead_fraction: "
+              f"{overhead:.1%} (<= 5.0% allowed) [{status}]")
+        if status == "REGRESSION":
+            failures.append(
+                f"armed control-health overhead {overhead:.1%} "
+                "exceeds the 5% budget"
+            )
+        ok = bool(sysid["gain_within_10pct"])
+        print(f"sysid.gain_within_10pct: ratio {sysid['gain_ratio']} "
+              f"[{'OK' if ok else 'REGRESSION'}]")
+        if not ok:
+            failures.append(
+                f"identified plant gain ratio {sysid['gain_ratio']} "
+                "strayed more than 10% from the design model"
             )
 
     for failure in failures:

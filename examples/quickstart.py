@@ -22,6 +22,14 @@ and a cross-check of the sampled mean against the monitor's QoS mean.
 ``REPRO_TUPTRACE_OUT=trace.json`` additionally exports the spans as a
 Chrome trace-event file (open in Perfetto / chrome://tracing) plus a
 ``.jsonl`` sibling with one trace document per line.
+
+Set ``REPRO_SYSID=1`` to run online system identification next to the
+loop (repro.obs.sysid): the run then prints the identified plant gain
+against the controller's design model and the live stability margins.
+Set ``REPRO_FLIGHT`` to a ring size (e.g. 256) to arm a flight recorder
+(repro.obs.flight) that dumps a self-contained incident bundle into
+``REPRO_FLIGHT_DIR`` (default ``incidents/``) whenever a critical health
+episode opens — inspect it with ``python -m repro.obs.flight info``.
 """
 
 import os
@@ -37,7 +45,15 @@ from repro.core import (
 )
 from repro.dsms import identification_network, make_engine
 from repro.metrics.report import ascii_series
-from repro.obs import configure_logging, get_bus, install_metrics, start_prom_dump
+from repro.obs import (
+    FlightRecorder,
+    HealthMonitor,
+    SysIdMonitor,
+    configure_logging,
+    get_bus,
+    install_metrics,
+    start_prom_dump,
+)
 from repro.obs.tuptrace import TupleTracer
 from repro.workloads import arrivals_from_trace, pareto_rate_trace_with_mean
 
@@ -82,6 +98,22 @@ def main() -> None:
         tracer = TupleTracer(fraction=fraction, seed=42,
                              max_finished=1_000_000)
         loop.tuple_tracer = tracer
+
+    # 3c. Optional control-health diagnostics (REPRO_SYSID / REPRO_FLIGHT):
+    #     both are pure bus observers, so arming them never perturbs the
+    #     control trajectory.
+    sysid = None
+    if os.environ.get("REPRO_SYSID", "") == "1":
+        sysid = SysIdMonitor(loop.bus)
+    recorder = None
+    ring = int(os.environ.get("REPRO_FLIGHT", "0") or "0")
+    if ring > 0:
+        recorder = FlightRecorder(
+            loop.bus, ring=ring,
+            directory=os.environ.get("REPRO_FLIGHT_DIR", "incidents"),
+            runtime="single")
+        recorder.watch(HealthMonitor(loop.bus))
+        recorder.handle_signals()  # SIGUSR2 -> dump a bundle on demand
 
     # 4. A bursty workload: long-tailed per-second rates, mean 1.4x capacity.
     trace = pareto_rate_trace_with_mean(
@@ -136,6 +168,25 @@ def main() -> None:
             m = tracer.export_jsonl(jsonl)
             print(f"  exported              : {n} traces -> {out} "
                   f"(Chrome trace events); {m} docs -> {jsonl}")
+
+    # 7. Control-health readout (only when REPRO_SYSID / REPRO_FLIGHT ran).
+    if sysid is not None:
+        for shard, st in sysid.summary().items():
+            print(f"\nonline system identification ({shard}):")
+            print(f"  identified gain       : {st['identified_gain']:.4f} "
+                  f"(design {st['design_gain']:.4f}, "
+                  f"ratio K = {st['gain_ratio']:.3f})")
+            print(f"  effective margins     : gain {st['gain_margin']:.2f}, "
+                  f"phase {st['phase_margin_deg']:.1f} deg, "
+                  f"modulus {st['modulus_margin']:.3f}")
+            print(f"  oscillation score     : {st['oscillation']:.3f}  "
+                  f"(samples {st['samples']}, excluded {st['excluded']})")
+    if recorder is not None:
+        if recorder.incidents:
+            print("\nincident bundles        : "
+                  + ", ".join(str(p) for p in recorder.incidents))
+        else:
+            print("\nincident bundles        : none (no critical episode)")
 
     if dumper is not None:
         dumper.stop()  # one final snapshot so the file holds the full run

@@ -29,7 +29,7 @@ from ..dsms import (
 from ..errors import ExperimentError
 from ..metrics.recorder import RunRecord
 from ..obs.logconf import get_logger
-from ..shedding import LsrmShedder, QueueShedder
+from ..shedding import BoundedEntryShedder, LsrmShedder, QueueShedder
 from ..workloads import (
     CostTrace,
     RateTrace,
@@ -127,6 +127,7 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
                  cost_trace: Optional[CostTrace] = None,
                  target: Union[float, Callable[[int], float], None] = None,
                  actuator: str = "entry",
+                 alpha_cap: float = 1.0,
                  arrival_seed: Optional[int] = None,
                  controller_kwargs: Optional[dict] = None,
                  estimator_factory: Optional[Callable[[], object]] = None,
@@ -146,6 +147,11 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
     string for :func:`make_scheduler` (full engine only). ``bus``,
     ``tracer`` and ``tuple_tracer`` thread straight into the
     :class:`ControlLoop` for live observability (see :mod:`repro.obs`).
+    ``alpha_cap`` < 1 bounds the entry shedder's drop probability (a
+    per-run loss SLA); capping below the overload's required drop rate
+    saturates the actuator — the canonical way to force the
+    queue-divergence regime the sysid/health detectors and the flight
+    recorder's incident path are designed for.
     """
     if isinstance(strategy, str):
         try:
@@ -189,7 +195,10 @@ def run_strategy(strategy: Union[str, Callable[[DsmsModel], Controller]],
     monitor = Monitor(engine, model, cost_estimator=estimator)
     controller = factory(model, **(controller_kwargs or {}))
     if actuator == "entry":
-        act = EntryActuator()
+        if alpha_cap < 1.0:
+            act = EntryActuator(BoundedEntryShedder(alpha_cap=alpha_cap))
+        else:
+            act = EntryActuator()
     elif actuator == "queue":
         act = InNetworkActuator(QueueShedder(engine, random.Random(config.seed)))
     else:

@@ -69,10 +69,14 @@ def run_service_experiment(config: ExperimentConfig,
     the lockstep :class:`~repro.service.StreamService`.
     """
     arrivals = build_service_workload(config, svc, workload_kind)
-    if isinstance(svc, FleetConfig):
-        return build_fleet(config, svc).run(arrivals, config.duration)
-    service = build_service(config, svc)
-    return service.run(arrivals, config.duration)
+    runtime = (build_fleet(config, svc) if isinstance(svc, FleetConfig)
+               else build_service(config, svc))
+    recorder = getattr(runtime, "flight_recorder", None)
+    if recorder is not None and recorder.replay_spec is not None:
+        # incident bundles replay through this very function, so record
+        # which synthetic workload fed the run
+        recorder.replay_spec["workload_kind"] = workload_kind
+    return runtime.run(arrivals, config.duration)
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,18 @@ Four pieces, all opt-in and zero-dependency:
   monitor's QoS mean.
 - **Health detectors** (:mod:`repro.obs.health`): online monitors for
   sustained QoS violation, actuator saturation, controller windup, drain
-  truncation and shard imbalance, surfaced as structured reports.
+  truncation, shard imbalance, model mismatch and margin erosion,
+  surfaced as structured reports.
+- **System identification** (:mod:`repro.obs.sysid`): per-shard online
+  RLS over the period stream — identified plant gain vs the design
+  model, live stability margins for the effective loop, limit-cycle
+  scoring — feeding the ``model_mismatch`` / ``margin_eroded`` health
+  detectors and three new gauges.
+- **Flight recorder** (:mod:`repro.obs.flight`): bounded per-shard rings
+  of the recent event stream; on a critical health episode (or ``POST
+  /incident``, or ``SIGUSR2``) writes a self-contained incident bundle
+  that ``python -m repro.obs.flight replay`` re-runs deterministically
+  and diffs float-for-float.
 - **Live serving** (:mod:`repro.obs.serve`): an HTTP server over the bus
   and registry — Prometheus ``/metrics``, ``/health`` + ``/status``
   JSON, an SSE event stream and a single-file dashboard — with bounded
@@ -63,15 +74,32 @@ from .events import (
     PeriodDecision,
     RunFinished,
     RunStarted,
+    IncidentDumped,
+    MarginEroded,
+    ModelMismatch,
     ShardRebalanced,
     ShedAction,
+    SysIdUpdate,
     TargetChanged,
     TupleTraceCompleted,
     WorkerDown,
     WorkerRestarted,
     event_to_dict,
 )
-from .health import HEALTH_KINDS, HealthMonitor, HealthReport
+from .flight import (
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    ReplayDiff,
+    load_bundle,
+    replay_bundle,
+)
+from .health import (
+    HEALTH_KINDS,
+    SEVERITY_CRITICAL,
+    SEVERITY_WARNING,
+    HealthMonitor,
+    HealthReport,
+)
 from .logconf import JsonLogFormatter, configure_logging, get_logger
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -91,6 +119,7 @@ from .metrics import (
 from .relay import CommandChannel, EventRelay, relay_forwarder, worker_relay
 from .serve import ObsServer
 from .sinks import PeriodJsonlSink
+from .sysid import RlsGainEstimator, SysIdMonitor, oscillation_score
 from .tracing import SEGMENTS, PeriodTracer, merge_flames
 from .tuptrace import (
     TailAnalyzer,
@@ -112,6 +141,7 @@ __all__ = [
     "AlphaCapped", "ShardRebalanced", "BackendSelected", "IngestStats",
     "RunFinished", "CompletionStats", "TupleTraceCompleted",
     "WorkerDown", "WorkerRestarted",
+    "SysIdUpdate", "ModelMismatch", "MarginEroded", "IncidentDumped",
     "event_to_dict",
     # metrics
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
@@ -128,6 +158,12 @@ __all__ = [
     "drop_audit", "traces_to_jsonl", "traces_to_chrome",
     # health
     "HealthMonitor", "HealthReport", "HEALTH_KINDS",
+    "SEVERITY_WARNING", "SEVERITY_CRITICAL",
+    # system identification
+    "SysIdMonitor", "RlsGainEstimator", "oscillation_score",
+    # flight recorder
+    "FlightRecorder", "ReplayDiff", "FLIGHT_FORMAT",
+    "load_bundle", "replay_bundle",
     # logging
     "configure_logging", "get_logger", "JsonLogFormatter",
     # sinks

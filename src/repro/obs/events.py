@@ -313,6 +313,80 @@ class MigrationCompleted(ObsEvent):
     shard: Optional[str] = None
 
 
+@dataclass
+class SysIdUpdate(ObsEvent):
+    """One period's online system-identification state for a shard.
+
+    Emitted by :class:`~repro.obs.sysid.SysIdMonitor` after folding the
+    period's ``(Δu, Δy)`` pair into its RLS estimator. ``gain_ratio`` is
+    the identified effective plant gain over the design model's gain (the
+    paper's ``K``); the margin fields are :mod:`repro.control.margins`
+    re-evaluated for ``K * L_nominal``. ``converged`` turns true once the
+    estimator has absorbed enough unsaturated samples to be trusted;
+    detectors ignore pre-convergence values.
+    """
+
+    kind: ClassVar[str] = "sysid"
+    k: int = 0
+    identified_gain: float = 0.0   # plant gain cT/H with the identified cost
+    design_gain: float = 0.0       # the controller's model gain this period
+    gain_ratio: float = 1.0        # identified / design — the paper's K
+    service_rate: float = 0.0      # identified service rate H/c (tuples/s)
+    gain_margin: float = 0.0       # effective loop gain margin (nominal / K)
+    phase_margin_deg: float = 0.0  # from the throttled full margin sweep
+    modulus_margin: float = 0.0    # from the throttled full margin sweep
+    oscillation: float = 0.0       # limit-cycle score in [0, 1]
+    converged: bool = False
+    saturated: bool = False        # this period's sample was excluded
+    samples: int = 0               # RLS samples absorbed so far
+    excluded: int = 0              # samples skipped (saturation / idle)
+    mismatch: bool = False         # gain ratio beyond the mismatch threshold
+    eroded: bool = False           # effective margins below their floors
+    shard: Optional[str] = None
+
+
+@dataclass
+class ModelMismatch(ObsEvent):
+    """The identified plant gain drifted beyond the design model's.
+
+    Emitted every period the (converged) identified/design gain ratio sits
+    outside ``[1/threshold, threshold]`` — the precise moment the paper's
+    ``1/K`` robustness argument starts being spent for real.
+    """
+
+    kind: ClassVar[str] = "model_mismatch"
+    k: int = 0
+    gain_ratio: float = 1.0
+    threshold: float = 1.5
+    identified_gain: float = 0.0
+    design_gain: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class MarginEroded(ObsEvent):
+    """The re-evaluated stability margins dipped below their floors."""
+
+    kind: ClassVar[str] = "margin_eroded"
+    k: int = 0
+    gain_margin: float = 0.0
+    gain_margin_floor: float = 0.0
+    modulus_margin: float = 0.0
+    modulus_floor: float = 0.0
+    shard: Optional[str] = None
+
+
+@dataclass
+class IncidentDumped(ObsEvent):
+    """The flight recorder wrote an incident bundle to disk."""
+
+    kind: ClassVar[str] = "incident"
+    reason: str = ""
+    trigger: str = "manual"   # manual | health | http | signal
+    path: str = ""
+    shard: Optional[str] = None
+
+
 def event_to_dict(event: ObsEvent) -> dict:
     """A JSON-able view of any event (SSE frames, ``/status`` snapshots).
 
@@ -341,5 +415,6 @@ EVENT_KINDS = tuple(
         BackendSelected, IngestStats, RunFinished, CompletionStats,
         TupleTraceCompleted, WorkerDown, WorkerRestarted, RouteChanged,
         MigrationStarted, MigrationCompleted,
+        SysIdUpdate, ModelMismatch, MarginEroded, IncidentDumped,
     )
 )

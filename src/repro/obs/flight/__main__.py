@@ -1,0 +1,6 @@
+"""``python -m repro.obs.flight`` — the incident bundle CLI."""
+
+from . import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

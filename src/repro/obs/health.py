@@ -36,10 +36,23 @@ watches the per-period decision stream for sustained pathologies:
     the live ingest buffer has refused tuples at its capacity for
     ``ingest_patience`` consecutive periods — the front door is shedding
     *silently* (senders get no signal), so sustained drops mean the
-    node is overloaded beyond even its admission-control posture.
+    node is overloaded beyond even its admission-control posture;
+``model_mismatch``
+    the online-identified plant gain (:mod:`repro.obs.sysid`) has sat
+    outside the design model's mismatch band for ``mismatch_patience``
+    consecutive periods — the controller is flying a plant it was not
+    designed for, typically *before* the QoS consequence lands;
+``margin_eroded``
+    the stability margins re-evaluated with the identified gain have
+    dipped below their floors for ``margin_patience`` consecutive
+    periods — the paper's ``1/K`` robustness budget is nearly spent.
 
 Detectors report *episodes*: one :class:`HealthReport` per contiguous
 stretch of bad periods, updated in place while the episode lasts.
+:meth:`HealthMonitor.finalize` seals every episode still open at the end
+of the run, so ``open=True`` afterwards reliably means "outlived the run"
+(late stragglers on the bus can neither close nor extend a sealed
+episode).
 """
 
 from __future__ import annotations
@@ -55,7 +68,7 @@ SEVERITY_CRITICAL = "critical"
 
 HEALTH_KINDS = ("qos_violation", "actuator_saturated", "controller_windup",
                 "drain_truncated", "shard_imbalance", "worker_down",
-                "ingest_drops")
+                "ingest_drops", "model_mismatch", "margin_eroded")
 
 
 @dataclass
@@ -106,6 +119,19 @@ class _Streak:
         self.peak = 0.0
         self.report = None
 
+    def detach(self) -> None:
+        """Seal the episode: forget the report *without* closing it.
+
+        Used by :meth:`HealthMonitor.finalize` so a report still open at
+        the end of the run keeps ``open=True`` forever — a late "good"
+        event arriving after finalization starts a fresh episode instead
+        of silently flipping the finished one closed.
+        """
+        self.count = 0
+        self.start_k = -1
+        self.peak = 0.0
+        self.report = None
+
 
 class HealthMonitor:
     """Subscribes to a bus and maintains structured health reports."""
@@ -118,12 +144,16 @@ class HealthMonitor:
                  windup_patience: int = 5,
                  imbalance_spread: float = 1.0,
                  imbalance_patience: int = 3,
-                 ingest_patience: int = 3):
+                 ingest_patience: int = 3,
+                 mismatch_patience: int = 2,
+                 margin_patience: int = 3):
         for name, patience in (("qos_patience", qos_patience),
                                ("saturation_patience", saturation_patience),
                                ("windup_patience", windup_patience),
                                ("imbalance_patience", imbalance_patience),
-                               ("ingest_patience", ingest_patience)):
+                               ("ingest_patience", ingest_patience),
+                               ("mismatch_patience", mismatch_patience),
+                               ("margin_patience", margin_patience)):
             if patience < 1:
                 raise ValueError(f"{name} must be >= 1, got {patience}")
         self.bus = bus if bus is not None else get_bus()
@@ -135,12 +165,20 @@ class HealthMonitor:
         self.imbalance_spread = imbalance_spread
         self.imbalance_patience = imbalance_patience
         self.ingest_patience = ingest_patience
+        self.mismatch_patience = mismatch_patience
+        self.margin_patience = margin_patience
+
+        #: optional callback fired once per *newly opened* report (the
+        #: flight recorder hooks this to auto-dump on critical episodes)
+        self.on_report = None
 
         self._reports: List[HealthReport] = []
         self._qos: Dict[str, _Streak] = {}
         self._sat: Dict[str, _Streak] = {}
         self._windup: Dict[str, _Streak] = {}
         self._ingest: Dict[str, _Streak] = {}
+        self._mismatch: Dict[str, _Streak] = {}
+        self._margin: Dict[str, _Streak] = {}
         self._u_prev: Dict[str, float] = {}
         self._fleet: Dict[int, Dict[str, Tuple[float, float]]] = {}
         self._imbalance = _Streak()
@@ -148,7 +186,7 @@ class HealthMonitor:
         self.bus.subscribe(self._on_event,
                            kinds=("period", "drain_truncated",
                                   "worker_down", "worker_restarted",
-                                  "ingest"))
+                                  "ingest", "sysid"))
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -174,16 +212,40 @@ class HealthMonitor:
     def has(self, kind: str) -> bool:
         return any(r.kind == kind for r in self._reports)
 
-    def healthy(self) -> bool:
-        return not self._reports
+    def healthy(self, min_severity: Optional[str] = None) -> bool:
+        """Whether the run is clean — optionally only above a severity.
+
+        With no argument any report at all fails (the historical, strict
+        form).  ``healthy(min_severity="critical")`` ignores warnings:
+        only :data:`SEVERITY_CRITICAL` episodes count, so a run that
+        merely brushed a warning detector still passes.
+        """
+        if min_severity is None or min_severity == SEVERITY_WARNING:
+            return not self._reports
+        if min_severity != SEVERITY_CRITICAL:
+            raise ValueError(f"unknown severity {min_severity!r}")
+        return not any(r.severity == SEVERITY_CRITICAL for r in self._reports)
+
+    def critical_open(self) -> bool:
+        """True while at least one critical episode is currently open."""
+        return any(r.open and r.severity == SEVERITY_CRITICAL
+                   for r in self._reports)
 
     def summary(self) -> dict:
         """Counts per kind plus the full report list (JSON-able)."""
         counts: Dict[str, int] = {}
         for report in self._reports:
             counts[report.kind] = counts.get(report.kind, 0) + 1
-        return {"healthy": self.healthy(), "counts": counts,
+        return {"healthy": self.healthy(),
+                "critical_open": self.critical_open(),
+                "counts": counts,
                 "reports": [r.as_dict() for r in self._reports]}
+
+    def _add_report(self, report: HealthReport) -> HealthReport:
+        self._reports.append(report)
+        if self.on_report is not None:
+            self.on_report(report)
+        return report
 
     # ------------------------------------------------------------------ #
     # event handling
@@ -193,6 +255,8 @@ class HealthMonitor:
             self._on_period(event)
         elif event.kind == "ingest":
             self._on_ingest(event)
+        elif event.kind == "sysid":
+            self._on_sysid(event)
         elif event.kind == "worker_down":
             shard = event.shard or "main"
             report = HealthReport(
@@ -207,7 +271,7 @@ class HealthMonitor:
                         "journal"),
             )
             self._down[shard] = report
-            self._reports.append(report)
+            self._add_report(report)
         elif event.kind == "worker_restarted":
             report = self._down.pop(event.shard or "main", None)
             if report is not None:
@@ -217,7 +281,7 @@ class HealthMonitor:
                     f"; replacement replayed to period {event.resumed_k} "
                     "and rejoined")
         elif event.kind == "drain_truncated":
-            self._reports.append(HealthReport(
+            self._add_report(HealthReport(
                 kind="drain_truncated",
                 shard=event.shard,
                 severity=SEVERITY_WARNING,
@@ -252,6 +316,36 @@ class HealthMonitor:
                          float(event.dropped), self.ingest_patience,
                          "ingest_drops", SEVERITY_WARNING, detail)
 
+    def _on_sysid(self, event) -> None:
+        shard = event.shard or "main"
+        deviation = max(event.gain_ratio, 1.0 / event.gain_ratio) \
+            if event.gain_ratio > 0 else 1.0
+
+        def mismatch_detail(streak: _Streak) -> str:
+            return (f"identified plant gain sat {streak.peak:.2f}x away "
+                    f"from the design model for {streak.count} consecutive "
+                    f"periods (ratio {event.gain_ratio:.2f}); the "
+                    "controller's cost model is stale and the 1/K "
+                    "robustness budget is being spent")
+
+        self._run_streak(self._mismatch, shard,
+                         bool(event.mismatch), event.k, deviation,
+                         self.mismatch_patience, "model_mismatch",
+                         SEVERITY_CRITICAL, mismatch_detail)
+
+        def margin_detail(streak: _Streak) -> str:
+            return (f"effective stability margins below floor for "
+                    f"{streak.count} consecutive periods (gain margin "
+                    f"down to {event.gain_margin:.2f}, modulus "
+                    f"{event.modulus_margin:.2f}); the loop is running "
+                    "close to its robustness limit")
+
+        margin_value = event.gain_margin if event.gain_margin > 0 else 0.0
+        self._run_streak(self._margin, shard,
+                         bool(event.eroded), event.k, margin_value,
+                         self.margin_patience, "margin_eroded",
+                         SEVERITY_WARNING, margin_detail)
+
     # ------------------------------------------------------------------ #
     # detectors
     # ------------------------------------------------------------------ #
@@ -271,7 +365,7 @@ class HealthMonitor:
                 first_k=streak.start_k, last_k=k, value=streak.peak,
                 detail=detail_fn(streak),
             )
-            self._reports.append(streak.report)
+            self._add_report(streak.report)
         else:
             streak.report.last_k = k
             streak.report.value = streak.peak
@@ -357,7 +451,7 @@ class HealthMonitor:
                 first_k=streak.start_k, last_k=k, value=streak.peak,
                 detail=detail(),
             )
-            self._reports.append(streak.report)
+            self._add_report(streak.report)
         else:
             streak.report.last_k = k
             streak.report.shard = worst
@@ -365,8 +459,24 @@ class HealthMonitor:
             streak.report.detail = detail()
 
     def finalize(self) -> List[HealthReport]:
-        """Evaluate any pending fleet rows and return the reports."""
+        """Evaluate pending fleet rows, then seal every open episode.
+
+        After this returns, ``open=True`` on a report reliably means the
+        episode outlived the run: still-open streak reports and
+        never-rejoined ``worker_down`` episodes are detached from their
+        live detector state, so stray events arriving later (a slow relay
+        draining, a test poking the bus) can neither close nor extend
+        them — they start fresh episodes instead.
+        """
         for k in sorted(self._fleet):
             self._evaluate_imbalance(k, self._fleet[k])
         self._fleet.clear()
+        for streaks in (self._qos, self._sat, self._windup, self._ingest,
+                        self._mismatch, self._margin):
+            for streak in streaks.values():
+                streak.detach()
+        self._imbalance.detach()
+        for report in self._down.values():
+            report.detail += "; the worker never rejoined before the run ended"
+        self._down.clear()
         return self.reports()

@@ -603,6 +603,24 @@ class MetricsBridge:
         self.tuple_latency = r.histogram(
             f"{p}_tuple_latency_seconds",
             "per-tuple end-to-end delay of completed (non-shed) tuples")
+        self.model_gain_ratio = r.gauge(
+            f"{p}_model_gain_ratio",
+            "identified plant gain over the design model's gain (paper K)")
+        self.effective_gain_margin = r.gauge(
+            f"{p}_effective_gain_margin",
+            "loop gain margin re-evaluated with the identified gain")
+        self.oscillation_score = r.gauge(
+            f"{p}_oscillation_score",
+            "limit-cycle score of the error signal in [0, 1]")
+        self.mismatches = r.counter(
+            f"{p}_model_mismatch_periods_total",
+            "periods whose identified gain ratio exceeded the threshold")
+        self.margin_erosions = r.counter(
+            f"{p}_margin_eroded_periods_total",
+            "periods whose effective stability margins fell below floor")
+        self.incidents = r.counter(
+            f"{p}_incidents_total",
+            "flight-recorder incident bundles written, by trigger")
         self._handlers = {
             "period": self._on_period,
             "shed": self._on_shed,
@@ -616,6 +634,10 @@ class MetricsBridge:
             "route_changed": self._on_route_changed,
             "migration_completed": self._on_migration_completed,
             "completions": self._on_completions,
+            "sysid": self._on_sysid,
+            "model_mismatch": self._on_mismatch,
+            "margin_eroded": self._on_margin_eroded,
+            "incident": self._on_incident,
         }
         self.bus.subscribe(self._on_event, kinds=self._handlers.keys())
 
@@ -694,6 +716,20 @@ class MetricsBridge:
 
     def _on_migration_completed(self, event, shard: str) -> None:
         self.migration_drain.observe(event.virtual_seconds, shard=shard)
+
+    def _on_sysid(self, event, shard: str) -> None:
+        self.model_gain_ratio.set(event.gain_ratio, shard=shard)
+        self.effective_gain_margin.set(event.gain_margin, shard=shard)
+        self.oscillation_score.set(event.oscillation, shard=shard)
+
+    def _on_mismatch(self, event, shard: str) -> None:
+        self.mismatches.inc(shard=shard)
+
+    def _on_margin_eroded(self, event, shard: str) -> None:
+        self.margin_erosions.inc(shard=shard)
+
+    def _on_incident(self, event, shard: str) -> None:
+        self.incidents.inc(trigger=event.trigger)
 
     def _on_completions(self, event, shard: str) -> None:
         # per-departure delay samples, independent of span sampling: the

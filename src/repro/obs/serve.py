@@ -10,12 +10,16 @@ path       serves
 ``/``      single-file HTML dashboard: ŷ(k) vs target, q(k), α and
            per-shard headroom, streamed over SSE
 ``/metrics``  Prometheus text exposition 0.0.4 of the registry
-``/health``   :meth:`HealthMonitor.summary` JSON (online detectors)
+``/health``   :meth:`HealthMonitor.summary` JSON (online detectors);
+              HTTP 503 while any *critical* episode is open, so a
+              liveness probe needs no JSON parsing
 ``/status``   JSON snapshot: latest per-shard period, headroom split,
               event counts, plus the service's own ``status_fn`` view
 ``/events``   Server-Sent Events live stream of bus events; defaults to
               every kind except the firehose ``tuple_trace`` spans
               (``?kinds=a,b`` narrows or opts in)
+``/incident`` ``POST``: ask the attached flight recorder to dump an
+              incident bundle now (404 without a recorder)
 ========== ==========================================================
 
 Every SSE client gets its own :class:`~repro.obs.bus.BoundedSubscription`
@@ -117,12 +121,16 @@ class ObsServer:
                  registry: Optional[MetricsRegistry] = None,
                  health: Optional[HealthMonitor] = None,
                  status_fn: Optional[Callable[[], dict]] = None,
-                 sse_maxlen: int = 512):
+                 sse_maxlen: int = 512,
+                 flight=None):
         self.bus = bus if bus is not None else get_bus()
         self.registry = registry if registry is not None else get_registry()
         self._own_health = health is None
         self.health = health if health is not None else HealthMonitor(self.bus)
         self.status_fn = status_fn
+        #: optional :class:`~repro.obs.flight.FlightRecorder` behind
+        #: ``POST /incident``
+        self.flight = flight
         self.sse_maxlen = int(sse_maxlen)
         self.sse_clients = 0
         self.sse_dropped = 0
@@ -214,7 +222,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(self.obs.registry.prometheus_text(),
                            PROMETHEUS_CONTENT_TYPE)
             elif path == "/health":
-                self._send(json.dumps(self.obs.health.summary()))
+                # degraded-but-standing (warnings) still answers 200; an
+                # open *critical* episode flips the status code so plain
+                # HTTP probes see it without parsing the report JSON
+                code = 503 if self.obs.health.critical_open() else 200
+                self._send(json.dumps(self.obs.health.summary()), code=code)
             elif path == "/status":
                 self._send(json.dumps(self.obs.status_document()))
             elif path == "/events":
@@ -224,6 +236,40 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send(json.dumps({"error": f"no route {path!r}"}),
                            code=404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        try:
+            # drain any request body so keep-alive connections stay sane
+            length = int(self.headers.get("Content-Length") or 0)
+            reason = ""
+            if length > 0:
+                raw = self.rfile.read(min(length, 65536))
+                try:
+                    reason = str(json.loads(raw).get("reason", ""))
+                except (ValueError, AttributeError):
+                    reason = raw.decode("utf-8", "replace").strip()
+            if path != "/incident":
+                self._send(json.dumps({"error": f"no route {path!r}"}),
+                           code=404)
+                return
+            recorder = self.obs.flight
+            if recorder is None:
+                self._send(json.dumps(
+                    {"error": "no flight recorder attached to this server"}),
+                    code=404)
+                return
+            bundle_path = recorder.dump(
+                reason=reason or "operator request via POST /incident",
+                trigger="http")
+            if bundle_path is None:
+                self._send(json.dumps(
+                    {"error": "recorder closed or dump budget exhausted"}),
+                    code=409)
+                return
+            self._send(json.dumps({"path": str(bundle_path)}))
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response; nothing to salvage
 
@@ -369,6 +415,12 @@ DASHBOARD_HTML = """<!doctype html>
     <figure><figcaption>completed-tuple delay p50 / p95 / p99 (s)
       <span class="readout" id="r-tail"></span></figcaption>
       <svg id="c-tail"></svg></figure>
+    <figure><figcaption>control health: identified/design gain K&#770;
+      <span class="readout" id="r-sysid"></span></figcaption>
+      <svg id="c-sysid"></svg></figure>
+    <figure><figcaption>control health: effective gain margin
+      <span class="readout" id="r-margin"></span></figcaption>
+      <svg id="c-margin"></svg></figure>
   </div>
 </div>
 <script>
@@ -443,6 +495,21 @@ function onCompletions(doc) {
   dirty = true;
 }
 
+// control-health pane: per-shard sysid series share the shard's color
+// slot. K-hat should hug the 1.0 reference; the margin pane shows how
+// much loop-gain slack the *identified* plant leaves before instability.
+const sysidS = new Map();               // shard -> {slot, points}
+function onSysId(doc) {
+  const name = doc.shard || "main";
+  let s = sysidS.get(name);
+  if (!s) { s = { slot: shardState(name).slot, points: [] }; sysidS.set(name, s); }
+  s.points.push({ k: doc.k,
+                  ratio: doc.converged ? doc.gain_ratio : null,
+                  margin: doc.converged ? doc.gain_margin : null });
+  if (s.points.length > KEEP) s.points.shift();
+  dirty = true;
+}
+
 const CHARTS = [
   { svg: "c-delay", readout: "r-delay", field: "delay", ref: () => lastTarget },
   { svg: "c-queue", readout: "r-queue", field: "queue" },
@@ -450,6 +517,10 @@ const CHARTS = [
   { svg: "c-headroom", readout: "r-headroom", field: "headroom", min: 0 },
   { svg: "c-ingest", readout: "r-ingest", field: "ingest", min: 0 },
   { svg: "c-tail", readout: "r-tail", field: "tail", min: 0, source: tail },
+  { svg: "c-sysid", readout: "r-sysid", field: "ratio", ref: () => 1,
+    source: sysidS },
+  { svg: "c-margin", readout: "r-margin", field: "margin", min: 0,
+    source: sysidS },
 ];
 const PAD = { l: 40, r: 8, t: 8, b: 18 };
 
@@ -559,6 +630,9 @@ es.addEventListener("ingest", ev => {
 });
 es.addEventListener("completions", ev => {
   onCompletions(JSON.parse(ev.data));
+});
+es.addEventListener("sysid", ev => {
+  onSysId(JSON.parse(ev.data));
 });
 es.addEventListener("route_changed", ev => {
   const doc = JSON.parse(ev.data);

@@ -35,6 +35,9 @@ from ..errors import ServeError
 from ..metrics.recorder import PeriodRecord, RunRecord
 from ..obs.bus import get_bus
 from ..obs.events import IngestStats
+from ..obs.flight import FlightRecorder
+from ..obs.health import HealthMonitor
+from ..obs.sysid import SysIdMonitor
 from .ingest import IngestBuffer, IngestServer
 
 
@@ -59,7 +62,10 @@ class LiveRunner:
                  serve: bool = False,
                  serve_port: Optional[int] = None,
                  max_periods: Optional[int] = None,
-                 shard: Optional[str] = None):
+                 shard: Optional[str] = None,
+                 sysid: bool = False,
+                 flight: int = 0,
+                 flight_dir: str = "incidents"):
         if max_periods is not None and max_periods <= 0:
             raise ServeError(f"max_periods must be positive: {max_periods}")
         self.loop = loop
@@ -74,6 +80,23 @@ class LiveRunner:
         self.obs_server = None
         self.max_periods = max_periods
         self.shard = shard
+        #: live observers over the loop's bus. A live run depends on real
+        #: arrival timing, so its bundles carry no replay spec — ``flight
+        #: replay`` reports them as not replayable rather than guessing.
+        self.sysid_monitor = None
+        self.flight_recorder = None
+        self._health_monitor = None
+        if sysid or flight > 0:
+            obs_bus = self.loop.bus if self.loop.bus else get_bus()
+            self.loop.bus = obs_bus
+            if sysid:
+                self.sysid_monitor = SysIdMonitor(obs_bus)
+            if flight > 0:
+                self.flight_recorder = FlightRecorder(
+                    obs_bus, ring=flight, directory=flight_dir,
+                    runtime="live", status_fn=self.status)
+                self._health_monitor = HealthMonitor(obs_bus)
+                self.flight_recorder.watch(self._health_monitor)
         self.record: Optional[RunRecord] = None
         self._last: Optional[PeriodRecord] = None
         self._jitter = 0.0
@@ -98,7 +121,8 @@ class LiveRunner:
             from ..obs.serve import ObsServer  # lazy: serving is opt-in
             self.obs_server = ObsServer(port=self.serve_port,
                                         bus=self.loop.bus,
-                                        status_fn=self.status).start()
+                                        status_fn=self.status,
+                                        flight=self.flight_recorder).start()
         self.ingest.start()
         # front-door drops show up in the sampled tuple traces too
         self.buffer.tuple_tracer = self.loop.tuple_tracer
@@ -139,6 +163,13 @@ class LiveRunner:
         if self.obs_server is not None:
             self.obs_server.stop()
             self.obs_server = None
+        if self._health_monitor is not None:
+            self._health_monitor.finalize()
+            self._health_monitor.close()
+        if self.sysid_monitor is not None:
+            self.sysid_monitor.close()
+        if self.flight_recorder is not None:
+            self.flight_recorder.close()
         return self.record
 
     def handle_signals(self) -> None:
@@ -146,8 +177,11 @@ class LiveRunner:
 
         The first signal requests a graceful stop; the previous handlers
         are restored immediately after, so a second Ctrl-C still kills a
-        process wedged in teardown.
+        process wedged in teardown. With a flight recorder attached,
+        ``SIGUSR2`` dumps an incident bundle without stopping anything.
         """
+        if self.flight_recorder is not None:
+            self.flight_recorder.handle_signals()
         previous = {}
 
         def _on_signal(signum, frame):
@@ -289,7 +323,10 @@ class LiveService:
                  bus=None,
                  serve: bool = False,
                  serve_port: Optional[int] = None,
-                 max_periods: Optional[int] = None):
+                 max_periods: Optional[int] = None,
+                 sysid: bool = False,
+                 flight: int = 0,
+                 flight_dir: str = "incidents"):
         if not shards:
             raise ServeError("a live service needs at least one shard")
         if table.n_shards != len(shards):
@@ -322,6 +359,18 @@ class LiveService:
         self.serve = serve
         self.serve_port = serve_port
         self.obs_server = None
+        #: live observers (see :class:`LiveRunner`: live bundles carry no
+        #: replay spec — real arrival timing is not reproducible)
+        self.sysid = sysid
+        self.sysid_monitor = SysIdMonitor(self.bus) if sysid else None
+        self.flight_recorder = None
+        self._health_monitor = None
+        if flight > 0:
+            self.flight_recorder = FlightRecorder(
+                self.bus, ring=flight, directory=flight_dir,
+                runtime="live", status_fn=self.status)
+            self._health_monitor = HealthMonitor(self.bus)
+            self.flight_recorder.watch(self._health_monitor)
         self.max_periods = max_periods
         self.records: Dict[str, RunRecord] = {}
         self._lasts: Dict[str, PeriodRecord] = {}
@@ -348,7 +397,10 @@ class LiveService:
         if self.serve:
             from ..obs.serve import ObsServer  # lazy: serving is opt-in
             self.obs_server = ObsServer(port=self.serve_port, bus=self.bus,
-                                        status_fn=self.status).start()
+                                        status_fn=self.status,
+                                        flight=self.flight_recorder).start()
+        if self.flight_recorder is not None:
+            self.flight_recorder.handle_signals()
         self.ingest.start()
         # buffer-full drops happen before routing, so charge them to shard
         # 0's tracer (mirrors the service-wide "ingest" timing convention)
@@ -394,12 +446,25 @@ class LiveService:
         if self.obs_server is not None:
             self.obs_server.stop()
             self.obs_server = None
+        if self._health_monitor is not None:
+            self._health_monitor.finalize()
+            self._health_monitor.close()
+        sysid_summary = None
+        if self.sysid_monitor is not None:
+            sysid_summary = self.sysid_monitor.summary()
+            self.sysid_monitor.close()
+        incidents = None
+        if self.flight_recorder is not None:
+            incidents = [str(p) for p in self.flight_recorder.incidents]
+            self.flight_recorder.close()
         return ServiceResult(
             mode=self.coordinator.mode,
             base_target=self.shards[0].base_target,
             shard_records=dict(self.records),
             coordinator_history=list(self.coordinator.history),
             wall_seconds=_time.perf_counter() - self._wall_start,
+            sysid=sysid_summary,
+            incidents=incidents,
         )
 
     def __enter__(self) -> "LiveService":
@@ -587,7 +652,9 @@ def build_live_service(config, svc,
                        buffer_maxlen=buffer_maxlen,
                        default_source=default_source, bus=bus,
                        serve=svc.serve, serve_port=svc.serve_port,
-                       max_periods=max_periods)
+                       max_periods=max_periods,
+                       sysid=svc.sysid, flight=svc.flight,
+                       flight_dir=svc.flight_dir)
 
 
 def build_live_runner(config,

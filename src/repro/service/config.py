@@ -66,6 +66,14 @@ class ServiceConfig:
     #: over HTTP for the duration of the run (repro.obs.serve.ObsServer)
     serve: bool = False
     serve_port: Optional[int] = None    # None -> REPRO_OBS_PORT or ephemeral
+    #: online system identification (repro.obs.sysid): per-shard RLS gain
+    #: tracking + live stability margins, feeding the health detectors
+    sysid: bool = False
+    #: flight recorder ring size in periods (repro.obs.flight); 0 = off.
+    #: With health on, any critical episode opening auto-dumps an
+    #: incident bundle into ``flight_dir``
+    flight: int = 0
+    flight_dir: str = "incidents"
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -113,6 +121,10 @@ class ServiceConfig:
         if self.max_migrations is not None and self.max_migrations < 0:
             raise ServiceError(
                 f"max_migrations must be >= 0, got {self.max_migrations}"
+            )
+        if self.flight < 0:
+            raise ServiceError(
+                f"flight ring size must be >= 0, got {self.flight}"
             )
         if not 0.0 <= self.tuptrace <= 1.0:
             raise ServiceError(

@@ -67,7 +67,9 @@ from ..errors import ServiceError
 from ..metrics.recorder import PeriodRecord, RunRecord
 from ..obs.bus import EventBus, get_bus
 from ..obs.events import RouteChanged, WorkerDown, WorkerRestarted
+from ..obs.flight import FlightRecorder
 from ..obs.health import HealthMonitor
+from ..obs.sysid import SysIdMonitor
 from ..obs.relay import CommandChannel, EventRelay, worker_relay
 from ..obs.tuptrace import TupleTracer
 from .config import FleetConfig, ServiceConfig
@@ -230,6 +232,10 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
             shard.loop.tuple_tracer = TupleTracer(
                 fraction=svc.tuptrace, seed=104729 * (index + 1),
                 bus=scoped, shard=name)
+        # sysid lives where the period stream lives: subscribed *before*
+        # the silent replay, so a restarted incarnation re-derives the
+        # exact identification state the lost one carried
+        sysid = SysIdMonitor(bus) if svc.sysid else None
         period = shard.loop.period
         patience = svc.worker_patience
         # the replica: journalled/downlinked route ops keep it in sync
@@ -307,6 +313,8 @@ def _fleet_worker(name: str, config: "ExperimentConfig", svc: FleetConfig,
                 else:
                     drain_ops()
             shard.loop.finish(record, n_periods)
+            if sysid is not None:
+                summary_queue.put(("sysid", name, sysid.state_for(name)))
             summary_queue.put(("done", name, record, restart_no))
     except BaseException:
         try:
@@ -329,6 +337,8 @@ class _WorkerState:
     dead_since: Optional[float] = None
     #: the worker replica's routing-table epoch at its last "ready"
     epoch: int = 0
+    #: the worker's final sysid state slice, shipped just before "done"
+    sysid: Optional[dict] = None
 
 
 class ProcessFleet:
@@ -394,6 +404,16 @@ class ProcessFleet:
             for i, name in enumerate(svc.shard_names)
         ]
         self.obs_server = None
+        #: parent-assembled incident bundles over the relayed event stream;
+        #: ring keys carry ``pidNNN/shardN`` worker provenance
+        self.flight_recorder = None
+        if svc.flight > 0:
+            self.flight_recorder = FlightRecorder(
+                self.bus, ring=svc.flight, directory=svc.flight_dir,
+                runtime="fleet", experiment=config, service=svc,
+                status_fn=self.status,
+                replay_spec={"kind": "service", "service_kind": "fleet",
+                             "sync": svc.sync, "workload_kind": "web"})
         self._states: Dict[str, _WorkerState] = {}
         self._k = -1
         self._running = False
@@ -442,7 +462,8 @@ class ProcessFleet:
 
             self.obs_server = ObsServer(port=self.svc.serve_port,
                                         bus=self.bus,
-                                        status_fn=self.status).start()
+                                        status_fn=self.status,
+                                        flight=self.flight_recorder).start()
         self._running = True
         try:
             return self._run(arrivals, duration)
@@ -463,7 +484,13 @@ class ProcessFleet:
              duration: float) -> ServiceResult:
         svc = self.svc
         names = list(svc.shard_names)
-        monitor = HealthMonitor(self.bus) if svc.health else None
+        # as in the lockstep service, auto-dumps need a monitor even when
+        # health reporting itself was not requested
+        monitor = None
+        if svc.health or self.flight_recorder is not None:
+            monitor = HealthMonitor(self.bus)
+        if monitor is not None and self.flight_recorder is not None:
+            self.flight_recorder.watch(monitor)
         wall_start = _time.perf_counter()
         n_periods = int(round(duration / self.period))
         # every worker sees the full stream and filters through its table
@@ -476,7 +503,8 @@ class ProcessFleet:
         summary_q = ctx.Queue()
         channel = CommandChannel(ctx)
         relay = None
-        if svc.relay or svc.serve or svc.health:
+        if (svc.relay or svc.serve or svc.health or svc.sysid
+                or svc.flight > 0):
             relay = EventRelay(bus=self.bus).start()
         states = {name: _WorkerState(index=i)
                   for i, name in enumerate(names)}
@@ -579,6 +607,10 @@ class ProcessFleet:
                         resumed_k=resumed_k, restarts=restart_no,
                         epoch=epoch, shard=name))
                 return 0
+            if kind == "sysid":
+                __, name, state = msg
+                states[name].sysid = state
+                return 0
             if kind == "done":
                 __, name, record, __restart = msg
                 if states[name].record is None:
@@ -648,8 +680,17 @@ class ProcessFleet:
                     relay.flush()
                 monitor.finalize()
                 monitor.close()
-                health_summary = monitor.summary()
+                if svc.health:
+                    health_summary = monitor.summary()
                 monitor = None
+            sysid_summary = None
+            if svc.sysid:
+                sysid_summary = {name: states[name].sysid
+                                 for name in names
+                                 if states[name].sysid is not None}
+            incidents = None
+            if self.flight_recorder is not None:
+                incidents = [str(p) for p in self.flight_recorder.incidents]
             return ServiceResult(
                 mode=self.coordinator.mode,
                 base_target=self.config.target,
@@ -658,6 +699,8 @@ class ProcessFleet:
                 wall_seconds=wall,
                 health=health_summary,
                 trace_summary=None,
+                sysid=sysid_summary,
+                incidents=incidents,
             )
         finally:
             for st in states.values():
@@ -679,6 +722,8 @@ class ProcessFleet:
                 relay.stop()
             if monitor is not None:
                 monitor.close()
+            if self.flight_recorder is not None:
+                self.flight_recorder.close()
 
 
 def build_fleet(config: "ExperimentConfig",

@@ -32,7 +32,9 @@ from ..metrics.qos import QosMetrics, combine_qos
 from ..metrics.recorder import RunRecord, merge_records
 from ..obs.bus import get_bus
 from ..obs.events import RouteChanged
+from ..obs.flight import FlightRecorder
 from ..obs.health import HealthMonitor
+from ..obs.sysid import SysIdMonitor
 from ..obs.tracing import PeriodTracer, merge_flames
 from ..obs.tuptrace import TailAnalyzer, TupleTracer
 from .config import ServiceConfig
@@ -141,6 +143,12 @@ class ServiceResult:
     #: per shard), when the service ran with ``tuptrace > 0``; None
     #: otherwise
     tail_summary: Optional[dict] = None
+    #: per-shard :meth:`~repro.obs.sysid.SysIdMonitor.summary` slice, when
+    #: the service ran with ``sysid=True``; None otherwise
+    sysid: Optional[dict] = None
+    #: incident bundle paths the flight recorder wrote during the run,
+    #: when the service ran with ``flight > 0``; None otherwise
+    incidents: Optional[List[str]] = None
 
     @property
     def aggregate(self) -> RunRecord:
@@ -192,7 +200,9 @@ class StreamService:
                  coordinator: HeadroomCoordinator,
                  bus=None, health: bool = False, trace: bool = False,
                  tuptrace: float = 0.0,
-                 serve: bool = False, serve_port: Optional[int] = None):
+                 serve: bool = False, serve_port: Optional[int] = None,
+                 sysid: bool = False, flight: int = 0,
+                 flight_dir: str = "incidents"):
         if not shards:
             raise ServiceError("a service needs at least one shard")
         if router.n_shards != len(shards):
@@ -223,6 +233,17 @@ class StreamService:
         self.tuptrace = float(tuptrace)
         self.serve = serve
         self.serve_port = serve_port
+        self.sysid = sysid
+        #: online plant identification over the shard period streams;
+        #: a pure bus observer, so enabling it never perturbs the loop
+        self.sysid_monitor = SysIdMonitor(self.bus) if sysid else None
+        #: bounded incident flight recorder; :func:`build_service` fills in
+        #: the experiment/service snapshots and replay spec for its bundles
+        self.flight_recorder = None
+        if flight > 0:
+            self.flight_recorder = FlightRecorder(
+                self.bus, ring=flight, directory=flight_dir,
+                runtime="lockstep", status_fn=self.status)
         #: the live ObsServer while a served run is in flight; None otherwise
         self.obs_server = None
         self._k = -1          # last closed period, for the /status view
@@ -274,7 +295,8 @@ class StreamService:
             from ..obs.serve import ObsServer  # lazy: serving is opt-in
 
             self.obs_server = ObsServer(port=self.serve_port, bus=self.bus,
-                                        status_fn=self.status).start()
+                                        status_fn=self.status,
+                                        flight=self.flight_recorder).start()
         self._running = True
         try:
             return self._run(arrivals, duration)
@@ -285,7 +307,13 @@ class StreamService:
                 self.obs_server = None
 
     def _run(self, arrivals: Sequence[Arrival], duration: float) -> ServiceResult:
-        monitor = HealthMonitor(self.bus) if self.health else None
+        # the flight recorder needs a monitor to trigger auto-dumps even
+        # when health reporting itself was not requested
+        monitor = None
+        if self.health or self.flight_recorder is not None:
+            monitor = HealthMonitor(self.bus)
+        if monitor is not None and self.flight_recorder is not None:
+            self.flight_recorder.watch(monitor)
         svc_tracer: Optional[PeriodTracer] = None
         if self.trace:
             svc_tracer = PeriodTracer()
@@ -331,7 +359,16 @@ class StreamService:
         if monitor is not None:
             monitor.finalize()
             monitor.close()
-            health_summary = monitor.summary()
+            if self.health:
+                health_summary = monitor.summary()
+        sysid_summary = None
+        if self.sysid_monitor is not None:
+            sysid_summary = self.sysid_monitor.summary()
+            self.sysid_monitor.close()
+        incidents = None
+        if self.flight_recorder is not None:
+            incidents = [str(p) for p in self.flight_recorder.incidents]
+            self.flight_recorder.close()
         trace_summary = None
         if svc_tracer is not None:
             flames = {shard.name: shard.loop.tracer.flame()
@@ -363,6 +400,8 @@ class StreamService:
             health=health_summary,
             trace_summary=trace_summary,
             tail_summary=tail_summary,
+            sysid=sysid_summary,
+            incidents=incidents,
         )
 
 
@@ -403,7 +442,19 @@ def build_service(config: "ExperimentConfig",
         loss_bound=svc.loss_bound,
         migration_policy=policy,
     )
-    return StreamService(shards, router, coordinator,
-                         health=svc.health, trace=svc.trace,
-                         tuptrace=svc.tuptrace,
-                         serve=svc.serve, serve_port=svc.serve_port)
+    service = StreamService(shards, router, coordinator,
+                            health=svc.health, trace=svc.trace,
+                            tuptrace=svc.tuptrace,
+                            serve=svc.serve, serve_port=svc.serve_port,
+                            sysid=svc.sysid, flight=svc.flight,
+                            flight_dir=svc.flight_dir)
+    if service.flight_recorder is not None:
+        # a lockstep run is a pure function of these two specs, so the
+        # bundle carries everything ``flight replay`` needs
+        service.flight_recorder.experiment = config
+        service.flight_recorder.service = svc
+        service.flight_recorder.replay_spec = {
+            "kind": "service", "service_kind": "lockstep",
+            "sync": True, "workload_kind": "web",
+        }
+    return service

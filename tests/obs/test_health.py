@@ -175,6 +175,79 @@ class TestIngestDrops:
         assert hm.healthy()
 
 
+class TestSeverityFiltering:
+    def _warning_only(self):
+        # a windup episode is warning-severity; nothing critical fires
+        bus = EventBus()
+        hm = HealthMonitor(bus, windup_patience=2)
+        feed(bus, [period(k, delay=1.0, v=0.0, u=-100.0 * (k + 1))
+                   for k in range(4)])
+        return hm
+
+    def test_min_severity_critical_ignores_warnings(self):
+        hm = self._warning_only()
+        assert not hm.healthy()                       # strict form fails
+        assert hm.healthy(min_severity="critical")    # filtered form passes
+
+    def test_min_severity_critical_fails_on_critical(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, qos_patience=1)
+        feed(bus, [period(0, delay=9.0)])
+        assert not hm.healthy(min_severity="critical")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            self._warning_only().healthy(min_severity="catastrophic")
+
+    def test_critical_open_tracks_the_live_episode(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, qos_patience=2)
+        assert not hm.critical_open()
+        feed(bus, [period(k, delay=9.0) for k in range(3)])
+        assert hm.critical_open()           # episode running -> 503 territory
+        feed(bus, [period(3, delay=0.5)])
+        assert not hm.critical_open()       # recovered, but history remains
+        assert hm.has("qos_violation")
+
+
+class TestFinalize:
+    def test_finalize_seals_open_episodes(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, qos_patience=2)
+        feed(bus, [period(k, delay=9.0) for k in range(3)])
+        hm.finalize()
+        (r,) = hm.reports("qos_violation")
+        assert r.open  # sealed open: the episode outlived the run
+        # a late "good" straggler must NOT flip the sealed report closed
+        feed(bus, [period(3, delay=0.5)])
+        assert r.open
+        assert r.last_k == 2
+
+    def test_late_bad_events_start_a_fresh_episode(self):
+        bus = EventBus()
+        hm = HealthMonitor(bus, qos_patience=2)
+        feed(bus, [period(k, delay=9.0) for k in range(3)])
+        hm.finalize()
+        # more bad periods after sealing: a second episode, not an
+        # extension of the first
+        feed(bus, [period(k, delay=9.0) for k in range(10, 13)])
+        reports = hm.reports("qos_violation")
+        assert len(reports) == 2
+        assert reports[0].last_k == 2
+        assert reports[1].first_k == 10
+
+    def test_finalize_annotates_unrecovered_worker_down(self):
+        from repro.obs.events import WorkerDown
+        bus = EventBus()
+        hm = HealthMonitor(bus)
+        bus.emit(WorkerDown(shard="shard1", exitcode=-9, last_k=17,
+                            restarts=1))
+        hm.finalize()
+        (r,) = hm.reports("worker_down")
+        assert r.open
+        assert "never rejoined" in r.detail
+
+
 class TestLifecycle:
     def test_summary_shape(self):
         bus = EventBus()

@@ -83,7 +83,8 @@ class TestResultSurfaces:
     def test_health_summary_attached(self, observed):
         result, _, _ = observed
         assert result.health is not None
-        assert set(result.health) == {"healthy", "counts", "reports"}
+        assert set(result.health) == {"healthy", "critical_open", "counts",
+                                      "reports"}
 
     def test_trace_covers_the_measured_wall_clock(self, observed):
         result, _, _ = observed
